@@ -1,0 +1,165 @@
+// Command peerd runs one live peer of the P2P range-selection system over
+// TCP. Start a ring and join more peers:
+//
+//	peerd -listen 127.0.0.1:7001
+//	peerd -listen 127.0.0.1:7002 -join 127.0.0.1:7001
+//	peerd -listen 127.0.0.1:7003 -join 127.0.0.1:7001
+//
+// Every peer of a ring must share -family/-k/-l/-scheme-seed (the LSH key
+// material). The daemon prints its chord identity and periodic status
+// lines, and exits cleanly on SIGINT/SIGTERM with a graceful leave.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"p2prange"
+	"p2prange/internal/relation"
+)
+
+// publishFlags collects repeatable -publish values of the form
+// Relation=file.csv:attribute:lo-hi — load the CSV, materialize the
+// [lo,hi] partition over the attribute, and publish its descriptor.
+type publishFlags []string
+
+func (p *publishFlags) String() string     { return strings.Join(*p, ",") }
+func (p *publishFlags) Set(v string) error { *p = append(*p, v); return nil }
+
+func main() {
+	var (
+		listen     = flag.String("listen", "127.0.0.1:7001", "address to listen on")
+		join       = flag.String("join", "", "bootstrap peer to join (empty: start a new ring)")
+		family     = flag.String("family", "approx", "hash family: minwise | approx | linear")
+		k          = flag.Int("k", 20, "hash functions per group")
+		l          = flag.Int("l", 5, "number of groups")
+		schemeSeed = flag.Int64("scheme-seed", 1, "shared LSH key-material seed (must match across the ring)")
+		status     = flag.Duration("status", 10*time.Second, "status print interval (0 disables)")
+	)
+	var publishes publishFlags
+	flag.Var(&publishes, "publish",
+		"publish a partition: Relation=file.csv:attribute:lo-hi (repeatable; medical schema)")
+	flag.Parse()
+
+	fam, err := parseFamily(*family)
+	if err != nil {
+		log.Fatalf("peerd: %v", err)
+	}
+	lp, err := p2prange.StartPeer(*listen, *join, p2prange.LiveConfig{
+		Family:     fam,
+		K:          *k,
+		L:          *l,
+		SchemeSeed: *schemeSeed,
+		Schema:     relation.MedicalSchema(),
+	})
+	if err != nil {
+		log.Fatalf("peerd: %v", err)
+	}
+	log.Printf("peerd: serving as %s", lp.Ref())
+	if *join != "" {
+		if lp.WaitStable(5 * time.Second) {
+			log.Printf("peerd: joined ring via %s; successor %s", *join, lp.Successor())
+			if err := lp.ReclaimArc(); err != nil {
+				log.Printf("peerd: reclaim arc: %v", err)
+			}
+		} else {
+			log.Printf("peerd: stabilization still in progress")
+		}
+	}
+	for _, spec := range publishes {
+		if err := publishSpec(lp, spec); err != nil {
+			log.Fatalf("peerd: -publish %q: %v", spec, err)
+		}
+	}
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+	var tick <-chan time.Time
+	if *status > 0 {
+		t := time.NewTicker(*status)
+		defer t.Stop()
+		tick = t.C
+	}
+	for {
+		select {
+		case <-tick:
+			log.Printf("peerd: successor=%s stored=%d", lp.Successor(), lp.StoredPartitions())
+		case sig := <-sigc:
+			log.Printf("peerd: %v: leaving ring", sig)
+			if err := lp.Leave(); err != nil {
+				log.Printf("peerd: leave: %v", err)
+			}
+			return
+		}
+	}
+}
+
+// publishSpec parses "Relation=file.csv:attribute:lo-hi", loads the CSV,
+// and publishes the materialized partition.
+func publishSpec(lp *p2prange.LivePeer, spec string) error {
+	eq := strings.SplitN(spec, "=", 2)
+	if len(eq) != 2 {
+		return fmt.Errorf("want Relation=file.csv:attribute:lo-hi")
+	}
+	relName := eq[0]
+	parts := strings.Split(eq[1], ":")
+	if len(parts) != 3 {
+		return fmt.Errorf("want file.csv:attribute:lo-hi")
+	}
+	path, attr, rgSpec := parts[0], parts[1], parts[2]
+	bounds := strings.SplitN(rgSpec, "-", 2)
+	if len(bounds) != 2 {
+		return fmt.Errorf("bad range %q (want lo-hi)", rgSpec)
+	}
+	lo, err1 := strconv.ParseInt(bounds[0], 10, 64)
+	hi, err2 := strconv.ParseInt(bounds[1], 10, 64)
+	if err1 != nil || err2 != nil {
+		return fmt.Errorf("bad range %q", rgSpec)
+	}
+	rg, err := p2prange.NewRange(lo, hi)
+	if err != nil {
+		return err
+	}
+	rs, ok := relation.MedicalSchema().Relation(relName)
+	if !ok {
+		return fmt.Errorf("relation %q not in the medical schema", relName)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	rel, err := relation.ReadCSV(rs, f)
+	if err != nil {
+		return err
+	}
+	if err := lp.AddPartition(rel, attr, rg); err != nil {
+		return err
+	}
+	if err := lp.Publish(lp.Descriptor(relName, attr, rg)); err != nil {
+		return err
+	}
+	log.Printf("peerd: published %s.%s%s from %s (%d tuples loaded)",
+		relName, attr, rg, path, rel.Len())
+	return nil
+}
+
+func parseFamily(s string) (p2prange.Family, error) {
+	switch s {
+	case "minwise":
+		return p2prange.MinWise, nil
+	case "approx":
+		return p2prange.ApproxMinWise, nil
+	case "linear":
+		return p2prange.Linear, nil
+	default:
+		return 0, fmt.Errorf("unknown family %q (want minwise, approx, or linear)", s)
+	}
+}

@@ -1,0 +1,109 @@
+// Command rangebench regenerates the paper's evaluation: every figure
+// (5-12) plus the ablations DESIGN.md lists. Each experiment prints the
+// rows/series the paper plots.
+//
+// Usage:
+//
+//	rangebench -fig 6a          # one experiment
+//	rangebench -fig all         # everything (paper-scale, takes minutes)
+//	rangebench -fig all -quick  # reduced parameters, seconds
+//	rangebench -list            # available experiment ids
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"p2prange/internal/experiments"
+)
+
+func main() {
+	var (
+		fig    = flag.String("fig", "", "experiment id (e.g. 5, 6a, 11b, kl) or 'all'")
+		quick  = flag.Bool("quick", false, "use reduced parameters (fast smoke run)")
+		list   = flag.Bool("list", false, "list available experiment ids")
+		seed   = flag.Int64("seed", 42, "random seed")
+		format = flag.String("format", "table", "output format: table | csv")
+		outDir = flag.String("o", "", "write each experiment to <dir>/<id>.<ext> instead of stdout")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("available experiments:", strings.Join(experiments.IDs(), " "))
+		return
+	}
+	if *fig == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	params := experiments.FullDefaults()
+	if *quick {
+		params = experiments.QuickDefaults()
+	}
+	params.Seed = *seed
+
+	ids := []string{*fig}
+	if strings.EqualFold(*fig, "all") {
+		ids = experiments.IDs()
+	}
+	for _, id := range ids {
+		driver, ok := experiments.Lookup(id)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "rangebench: unknown experiment %q (try -list)\n", id)
+			os.Exit(2)
+		}
+		start := time.Now()
+		table, err := driver(params)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rangebench: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		if err := emit(table, *format, *outDir); err != nil {
+			fmt.Fprintf(os.Stderr, "rangebench: %v\n", err)
+			os.Exit(1)
+		}
+		if *outDir == "" {
+			fmt.Printf("   (%s in %s)\n\n", table.ID, time.Since(start).Round(time.Millisecond))
+		} else {
+			fmt.Printf("%s done in %s\n", table.ID, time.Since(start).Round(time.Millisecond))
+		}
+	}
+}
+
+// emit writes one table to stdout or to <outDir>/<id>.<ext>.
+func emit(table *experiments.Table, format, outDir string) error {
+	write := func(w *os.File) error {
+		switch format {
+		case "table":
+			_, err := table.WriteTo(w)
+			return err
+		case "csv":
+			return table.WriteCSV(w)
+		default:
+			return fmt.Errorf("unknown format %q (want table or csv)", format)
+		}
+	}
+	if outDir == "" {
+		return write(os.Stdout)
+	}
+	if err := os.MkdirAll(outDir, 0o755); err != nil {
+		return err
+	}
+	ext := map[string]string{"table": "txt", "csv": "csv"}[format]
+	if ext == "" {
+		return fmt.Errorf("unknown format %q (want table or csv)", format)
+	}
+	f, err := os.Create(fmt.Sprintf("%s/%s.%s", outDir, table.ID, ext))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := write(f); err != nil {
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,180 @@
+// Command rangeql is an interactive SQL shell over a simulated P2P
+// system preloaded with the paper's medical schema and synthetic data.
+// Selection leaves are resolved through the DHT: the first execution of a
+// range predicate goes to the data source and caches the partition; later
+// similar predicates are answered from peer caches.
+//
+//	rangeql                        # interactive shell
+//	rangeql -e "SELECT ... "       # one-shot
+//
+// Meta commands: \plan <sql> shows the physical plan, \loads shows the
+// per-peer stored-descriptor counts, \q quits.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"p2prange"
+	"p2prange/internal/relation"
+)
+
+func main() {
+	var (
+		peers = flag.Int("peers", 32, "number of simulated peers")
+		exec  = flag.String("e", "", "execute one statement and exit")
+		seed  = flag.Int64("seed", 1, "system seed")
+		pad   = flag.Float64("pad", 0, "query padding fraction (e.g. 0.2)")
+	)
+	flag.Parse()
+
+	sys, err := buildSystem(*peers, *seed, *pad)
+	if err != nil {
+		log.Fatalf("rangeql: %v", err)
+	}
+
+	if *exec != "" {
+		if err := run(sys, *exec); err != nil {
+			log.Fatalf("rangeql: %v", err)
+		}
+		return
+	}
+
+	fmt.Printf("rangeql: %d peers, medical schema loaded (Patient, Diagnosis, Physician, Prescription)\n", *peers)
+	fmt.Println(`type SQL, or \plan <sql>, \loads, \dump <rel> <file>, \load <rel> <file>, \q`)
+	sc := bufio.NewScanner(os.Stdin)
+	for {
+		fmt.Print("rangeql> ")
+		if !sc.Scan() {
+			return
+		}
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case line == "":
+		case line == `\q`:
+			return
+		case line == `\loads`:
+			fmt.Println(sys.Loads())
+		case strings.HasPrefix(line, `\plan `):
+			plan, err := sys.Plan(strings.TrimPrefix(line, `\plan `))
+			if err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			fmt.Println(plan)
+		case strings.HasPrefix(line, `\dump `), strings.HasPrefix(line, `\load `):
+			if err := dumpOrLoad(sys, line); err != nil {
+				fmt.Println("error:", err)
+			}
+		default:
+			if err := run(sys, line); err != nil {
+				fmt.Println("error:", err)
+			}
+		}
+	}
+}
+
+// dumpOrLoad handles "\dump <rel> <file>" and "\load <rel> <file>".
+func dumpOrLoad(sys *p2prange.System, line string) error {
+	fields := strings.Fields(line)
+	if len(fields) != 3 {
+		return fmt.Errorf("usage: %s <relation> <file>", fields[0])
+	}
+	cmd, rel, path := fields[0], fields[1], fields[2]
+	switch cmd {
+	case `\dump`:
+		r, ok := sys.Base(rel)
+		if !ok {
+			return fmt.Errorf("no base relation %q", rel)
+		}
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := r.WriteCSV(f); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %d tuples to %s\n", r.Len(), path)
+		return f.Close()
+	case `\load`:
+		rs, ok := relation.MedicalSchema().Relation(rel)
+		if !ok {
+			return fmt.Errorf("relation %q not in the schema", rel)
+		}
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r, err := relation.ReadCSV(rs, f)
+		if err != nil {
+			return err
+		}
+		if err := sys.AddBase(r); err != nil {
+			return err
+		}
+		fmt.Printf("loaded %d tuples into %s\n", r.Len(), rel)
+		return nil
+	default:
+		return fmt.Errorf("unknown command %q", cmd)
+	}
+}
+
+func buildSystem(peers int, seed int64, pad float64) (*p2prange.System, error) {
+	sys, err := p2prange.New(p2prange.Config{
+		Peers:   peers,
+		Family:  p2prange.ApproxMinWise,
+		Measure: p2prange.MatchContainment,
+		PadFrac: pad,
+		Seed:    seed,
+		Schema:  relation.MedicalSchema(),
+	})
+	if err != nil {
+		return nil, err
+	}
+	rels, err := relation.GenerateMedical(relation.DefaultMedicalConfig())
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range rels {
+		if err := sys.AddBase(r); err != nil {
+			return nil, err
+		}
+	}
+	return sys, nil
+}
+
+func run(sys *p2prange.System, sql string) error {
+	res, err := sys.Query(sql)
+	if err != nil {
+		return err
+	}
+	headers := make([]string, len(res.Columns))
+	for i, c := range res.Columns {
+		headers[i] = c.String()
+	}
+	fmt.Println(strings.Join(headers, " | "))
+	const maxRows = 25
+	for i, row := range res.Rows {
+		if i == maxRows {
+			fmt.Printf("... (%d rows total)\n", len(res.Rows))
+			break
+		}
+		cells := make([]string, len(row))
+		for j, v := range row {
+			cells[j] = v.String()
+		}
+		fmt.Println(strings.Join(cells, " | "))
+	}
+	fmt.Printf("%d row(s)", len(res.Rows))
+	for k, r := range res.ScanRecall {
+		fmt.Printf("  [%s recall %.2f]", k, r)
+	}
+	fmt.Println()
+	return nil
+}

@@ -1,0 +1,71 @@
+// Quickstart: build a simulated 50-peer system, cache range partitions,
+// and watch approximate lookups find them.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"p2prange"
+)
+
+func main() {
+	sys, err := p2prange.New(p2prange.Config{
+		Peers:   50,
+		Family:  p2prange.ApproxMinWise,
+		Measure: p2prange.MatchContainment,
+		Seed:    7,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("system up: %d peers on the chord ring\n\n", sys.Peers())
+
+	// A first query: the system is empty, so nothing matches, and the
+	// protocol caches this range's descriptor at its l identifier owners.
+	q1 := mustRange(30, 50)
+	if _, found, err := sys.Lookup("Patient", "age", q1, true); err != nil {
+		log.Fatal(err)
+	} else if !found {
+		fmt.Printf("lookup %s: no cached partition yet (range now cached)\n", q1)
+	}
+
+	// The paper's motivating example: [30,49] is not an exact repeat, but
+	// it is 95% similar to the cached [30,50] — and fully contained in it.
+	q2 := mustRange(30, 49)
+	m, found, err := sys.Lookup("Patient", "age", q2, true)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if found {
+		fmt.Printf("lookup %s: matched cached partition %s\n", q2, m.Partition.Range)
+		fmt.Printf("  containment score: %.2f (the whole answer is in the cache)\n", m.Score)
+		fmt.Printf("  jaccard similarity: %.2f\n", q2.Jaccard(m.Partition.Range))
+	}
+
+	// A dissimilar range finds nothing useful.
+	q3 := mustRange(700, 900)
+	if _, found, err = sys.Lookup("Patient", "age", q3, false); err != nil {
+		log.Fatal(err)
+	} else if !found {
+		fmt.Printf("lookup %s: correctly found no similar partition\n", q3)
+	}
+
+	// Load is spread across the ring: each cached range was stored under
+	// l = 5 LSH identifiers.
+	total := 0
+	for _, l := range sys.Loads() {
+		total += l
+	}
+	fmt.Printf("\nstored descriptors across the ring: %d\n", total)
+}
+
+func mustRange(lo, hi int64) p2prange.Range {
+	r, err := p2prange.NewRange(lo, hi)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}

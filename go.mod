@@ -1,0 +1,3 @@
+module p2prange
+
+go 1.22

@@ -1,0 +1,216 @@
+package can
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0, 10, 1); err == nil {
+		t.Error("d=0 accepted")
+	}
+	if _, err := New(9, 10, 1); err == nil {
+		t.Error("d=9 accepted")
+	}
+	if _, err := New(2, 0, 1); err == nil {
+		t.Error("n=0 accepted")
+	}
+}
+
+func TestZonesTileTheTorus(t *testing.T) {
+	for _, d := range []int{1, 2, 3} {
+		net, err := New(d, 128, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var vol float64
+		for _, n := range net.Nodes() {
+			vol += n.Zone().Volume()
+		}
+		if math.Abs(vol-1) > 1e-9 {
+			t.Errorf("d=%d: zone volumes sum to %g, want 1", d, vol)
+		}
+		// Every sampled point has exactly one owner.
+		rng := rand.New(rand.NewSource(3))
+		for i := 0; i < 2000; i++ {
+			p := randPoint(rng, d)
+			owners := 0
+			for _, n := range net.Nodes() {
+				if n.Zone().Contains(p) {
+					owners++
+				}
+			}
+			if owners != 1 {
+				t.Fatalf("d=%d: point %v has %d owners", d, p, owners)
+			}
+		}
+	}
+}
+
+func TestAdjacencySymmetricAndNonEmpty(t *testing.T) {
+	net, err := New(2, 200, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range net.Nodes() {
+		if len(n.Neighbors()) == 0 {
+			t.Fatalf("node %d has no neighbors", n.ID)
+		}
+		for _, nb := range n.Neighbors() {
+			found := false
+			for _, back := range nb.Neighbors() {
+				if back == n {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("adjacency not symmetric between %d and %d", n.ID, nb.ID)
+			}
+		}
+	}
+}
+
+func TestRouteReachesOwner(t *testing.T) {
+	for _, d := range []int{1, 2, 3} {
+		net, err := New(d, 150, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(6))
+		for i := 0; i < 500; i++ {
+			p := randPoint(rng, d)
+			origin := net.Nodes()[rng.Intn(net.N())]
+			got, hops, err := net.Route(origin, p)
+			if err != nil {
+				t.Fatalf("d=%d route: %v", d, err)
+			}
+			if want := net.bruteOwner(p); got != want {
+				t.Fatalf("d=%d: routed to node %d, owner is %d", d, got.ID, want.ID)
+			}
+			if hops > net.N() {
+				t.Fatalf("d=%d: %d hops", d, hops)
+			}
+		}
+	}
+}
+
+func TestRouteFromOwnerIsZeroHops(t *testing.T) {
+	net, err := New(2, 50, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(8))
+	p := randPoint(rng, 2)
+	owner := net.bruteOwner(p)
+	got, hops, err := net.Route(owner, p)
+	if err != nil || got != owner || hops != 0 {
+		t.Errorf("route from owner = node %v in %d hops, err %v", got, hops, err)
+	}
+}
+
+func TestPathLengthScalesAsRoot(t *testing.T) {
+	// CAN path length grows ~ (d/4)·N^(1/d); check d=2 doubles roughly
+	// with 4x nodes, staying well below chord-style log behavior bounds.
+	mean := func(n int) float64 {
+		net, err := New(2, n, 9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(10))
+		total := 0
+		const trials = 800
+		for i := 0; i < trials; i++ {
+			origin := net.Nodes()[rng.Intn(net.N())]
+			_, hops, err := net.Route(origin, randPoint(rng, 2))
+			if err != nil {
+				t.Fatal(err)
+			}
+			total += hops
+		}
+		return float64(total) / trials
+	}
+	m64, m1024 := mean(64), mean(1024)
+	ratio := m1024 / m64
+	// sqrt(1024/64) = 4; accept a broad band around it.
+	if ratio < 2 || ratio > 7 {
+		t.Errorf("path length ratio %g for 16x nodes, want ≈ 4 (sqrt scaling)", ratio)
+	}
+}
+
+func TestKeyToPoint(t *testing.T) {
+	p1 := KeyToPoint(12345, 3)
+	p2 := KeyToPoint(12345, 3)
+	for i := range p1 {
+		if p1[i] != p2[i] {
+			t.Fatal("KeyToPoint not deterministic")
+		}
+		if p1[i] < 0 || p1[i] >= 1 {
+			t.Fatalf("coordinate %g outside [0,1)", p1[i])
+		}
+	}
+	q := KeyToPoint(12346, 3)
+	same := true
+	for i := range p1 {
+		if p1[i] != q[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Error("distinct keys map to the same point")
+	}
+}
+
+func TestLookupConsistentAcrossOrigins(t *testing.T) {
+	net, err := New(2, 100, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := uint32(0xabcdef01)
+	first, _, err := net.Lookup(net.Nodes()[0], key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < 20; i++ {
+		got, _, err := net.Lookup(net.Nodes()[i], key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != first {
+			t.Fatalf("key owner differs by origin: %d vs %d", got.ID, first.ID)
+		}
+	}
+}
+
+func TestVolumesReflectSplits(t *testing.T) {
+	net, err := New(2, 64, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vols := net.Volumes()
+	if len(vols) != 64 {
+		t.Fatalf("volumes = %d", len(vols))
+	}
+	var sum float64
+	for _, v := range vols {
+		if v <= 0 {
+			t.Fatal("non-positive zone volume")
+		}
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("volumes sum to %g", sum)
+	}
+}
+
+func TestSingleNode(t *testing.T) {
+	net, err := New(2, 1, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	owner, hops, err := net.Lookup(net.Nodes()[0], 42)
+	if err != nil || owner.ID != 0 || hops != 0 {
+		t.Errorf("single-node lookup = %v, %d, %v", owner, hops, err)
+	}
+}

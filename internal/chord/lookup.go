@@ -1,0 +1,62 @@
+package chord
+
+import "fmt"
+
+// maxLookupSteps bounds iterative routing; with M=32 a correct ring never
+// needs more than M forwarding steps, so anything beyond that is a routing
+// loop caused by stale state.
+const maxLookupSteps = 2 * M
+
+// Lookup resolves the node owning identifier id, routing iteratively from
+// this node via closest-preceding-finger queries (Stoica et al., Fig. 4).
+// It returns the owner and the overlay path length in hops: the number of
+// distinct nodes the query is forwarded through, including the final hop
+// to the owner and excluding the originating node. This is the quantity
+// the paper plots in Fig. 12.
+func (n *Node) Lookup(id ID) (Ref, int, error) {
+	if n.Owns(id) {
+		return n.ref, 0, nil
+	}
+	cur := n.ref
+	hops := 0
+	for step := 0; step < maxLookupSteps; step++ {
+		var succ Ref
+		var err error
+		if cur.ID == n.ref.ID {
+			succ = n.successor()
+		} else {
+			succ, err = n.client.Successor(cur.Addr)
+			if err != nil {
+				return Ref{}, hops, fmt.Errorf("chord: lookup %s via %s: %w", FmtID(id), cur, err)
+			}
+		}
+		if BetweenRightIncl(cur.ID, succ.ID, id) {
+			if succ.ID == cur.ID {
+				return succ, hops, nil // owner already reached
+			}
+			return succ, hops + 1, nil // final hop to the owner
+		}
+		var next Ref
+		if cur.ID == n.ref.ID {
+			next, err = n.HandleClosestPreceding(id)
+		} else {
+			next, err = n.client.ClosestPreceding(cur.Addr, id)
+		}
+		if err != nil {
+			return Ref{}, hops, fmt.Errorf("chord: lookup %s via %s: %w", FmtID(id), cur, err)
+		}
+		if next.ID == cur.ID {
+			// cur knows no closer node; its successor owns id (handled
+			// above) unless state is stale. Fall through to the successor.
+			if succ.ID == cur.ID {
+				return Ref{}, hops, fmt.Errorf("%w: stuck at %s for %s", ErrNotFound, cur, FmtID(id))
+			}
+			cur = succ
+			hops++
+			continue
+		}
+		cur = next
+		hops++
+	}
+	return Ref{}, hops, fmt.Errorf("%w: routing loop resolving %s", ErrNotFound, FmtID(id))
+}

@@ -1,0 +1,119 @@
+package chord
+
+import (
+	"context"
+	"log"
+	"sync"
+	"time"
+)
+
+// MaintainerConfig controls the background stabilization cadence for live
+// (non-simulated) rings.
+type MaintainerConfig struct {
+	// StabilizeEvery is the period between stabilize rounds.
+	StabilizeEvery time.Duration
+	// FixFingersEvery is the period between single-finger refreshes; all M
+	// fingers are cycled through round-robin.
+	FixFingersEvery time.Duration
+	// CheckPredecessorEvery is the period between predecessor liveness
+	// checks.
+	CheckPredecessorEvery time.Duration
+	// Logger receives protocol errors; nil silences them.
+	Logger *log.Logger
+}
+
+func (c *MaintainerConfig) withDefaults() MaintainerConfig {
+	out := *c
+	if out.StabilizeEvery <= 0 {
+		out.StabilizeEvery = 200 * time.Millisecond
+	}
+	if out.FixFingersEvery <= 0 {
+		out.FixFingersEvery = 50 * time.Millisecond
+	}
+	if out.CheckPredecessorEvery <= 0 {
+		out.CheckPredecessorEvery = time.Second
+	}
+	return out
+}
+
+// Maintainer runs the chord stabilization protocol for one node in the
+// background: periodic Stabilize, round-robin FixFinger, and
+// CheckPredecessor, per the Chord paper. Create with StartMaintainer and
+// stop with Stop.
+type Maintainer struct {
+	node   *Node
+	cfg    MaintainerConfig
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+}
+
+// StartMaintainer launches the maintenance goroutines for node.
+func StartMaintainer(node *Node, cfg MaintainerConfig) *Maintainer {
+	ctx, cancel := context.WithCancel(context.Background())
+	m := &Maintainer{node: node, cfg: cfg.withDefaults(), cancel: cancel}
+	m.wg.Add(3)
+	go m.loop(ctx, m.cfg.StabilizeEvery, func() {
+		if err := node.Stabilize(); err != nil {
+			m.logf("stabilize: %v", err)
+		}
+	})
+	var finger uint
+	go m.loop(ctx, m.cfg.FixFingersEvery, func() {
+		if err := node.FixFinger(finger); err != nil {
+			m.logf("fix finger %d: %v", finger, err)
+		}
+		finger = (finger + 1) % M
+	})
+	go m.loop(ctx, m.cfg.CheckPredecessorEvery, func() {
+		node.CheckPredecessor()
+	})
+	return m
+}
+
+func (m *Maintainer) loop(ctx context.Context, every time.Duration, fn func()) {
+	defer m.wg.Done()
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			fn()
+		}
+	}
+}
+
+func (m *Maintainer) logf(format string, args ...any) {
+	if m.cfg.Logger != nil {
+		m.cfg.Logger.Printf("chord %s: "+format, append([]any{m.node.Ref()}, args...)...)
+	}
+}
+
+// Stop halts the maintenance goroutines and waits for them to exit.
+func (m *Maintainer) Stop() {
+	m.cancel()
+	m.wg.Wait()
+}
+
+// StabilizeAll drives every node's full maintenance cycle (stabilize, all
+// fingers, predecessor check) for the given number of rounds,
+// synchronously. Tests and small live clusters use it to converge a ring
+// deterministically instead of waiting on timers.
+func StabilizeAll(nodes []*Node, rounds int) {
+	for r := 0; r < rounds; r++ {
+		for _, n := range nodes {
+			_ = n.Stabilize()
+			n.CheckPredecessor()
+		}
+	}
+	for _, n := range nodes {
+		for k := uint(0); k < M; k++ {
+			_ = n.FixFinger(k)
+		}
+	}
+	// One more stabilize pass so successor lists settle post-fingers.
+	for _, n := range nodes {
+		_ = n.Stabilize()
+	}
+}

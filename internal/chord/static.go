@@ -1,0 +1,93 @@
+package chord
+
+import (
+	"fmt"
+	"sort"
+)
+
+// BuildStableRing constructs a fully converged ring over the given nodes:
+// every node's predecessor, successor list, and all M fingers are set to
+// their exact values. It is what a long-stabilized live ring converges to,
+// and lets simulations with thousands of peers skip the stabilization
+// transient (the paper's evaluation likewise measures converged rings).
+// Node IDs must be distinct; duplicate ring positions are reported as an
+// error so callers can re-hash (vanishingly rare with SHA-1, but 32-bit
+// identifiers make collisions possible at large N).
+func BuildStableRing(nodes []*Node) error {
+	if len(nodes) == 0 {
+		return nil
+	}
+	sorted := make([]*Node, len(nodes))
+	copy(sorted, nodes)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].ID() < sorted[j].ID() })
+	for i := 1; i < len(sorted); i++ {
+		if sorted[i].ID() == sorted[i-1].ID() {
+			return fmt.Errorf("chord: identifier collision %s between %s and %s",
+				FmtID(sorted[i].ID()), sorted[i-1].Addr(), sorted[i].Addr())
+		}
+	}
+	n := len(sorted)
+	ids := make([]ID, n)
+	for i, nd := range sorted {
+		ids[i] = nd.ID()
+	}
+	// succIdx returns the index of the first node with ID >= id (mod ring).
+	succIdx := func(id ID) int {
+		i := sort.Search(n, func(i int) bool { return ids[i] >= id })
+		if i == n {
+			return 0
+		}
+		return i
+	}
+	for i, nd := range sorted {
+		nd.mu.Lock()
+		nd.pred = sorted[(i-1+n)%n].ref
+		for k := uint(0); k < M; k++ {
+			nd.fingers[k] = sorted[succIdx(Add(nd.ref.ID, k))].ref
+		}
+		nd.succs = nd.succs[:0]
+		for j := 1; j <= nd.nsucc && j < n+1; j++ {
+			nd.succs = append(nd.succs, sorted[(i+j)%n].ref)
+		}
+		if len(nd.succs) == 0 {
+			nd.succs = append(nd.succs, nd.ref)
+		}
+		nd.mu.Unlock()
+	}
+	return nil
+}
+
+// RingInfo summarizes a converged ring for diagnostics and tests.
+type RingInfo struct {
+	N         int  // number of nodes
+	Converged bool // every successor/predecessor link is mutual
+}
+
+// VerifyRing checks that the given nodes form one consistent ring: sorted
+// by ID, each node's successor is the next node and its predecessor the
+// previous one. Intended for tests and the live cluster's health check.
+func VerifyRing(nodes []*Node) (RingInfo, error) {
+	info := RingInfo{N: len(nodes)}
+	if len(nodes) == 0 {
+		info.Converged = true
+		return info, nil
+	}
+	sorted := make([]*Node, len(nodes))
+	copy(sorted, nodes)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].ID() < sorted[j].ID() })
+	n := len(sorted)
+	for i, nd := range sorted {
+		wantSucc := sorted[(i+1)%n].ref
+		if got := nd.Successor(); got.ID != wantSucc.ID {
+			return info, fmt.Errorf("chord: node %s successor is %s, want %s",
+				nd.Ref(), got, wantSucc)
+		}
+		wantPred := sorted[(i-1+n)%n].ref
+		if got, ok := nd.Predecessor(); n > 1 && (!ok || got.ID != wantPred.ID) {
+			return info, fmt.Errorf("chord: node %s predecessor is %s, want %s",
+				nd.Ref(), got, wantPred)
+		}
+	}
+	info.Converged = true
+	return info, nil
+}

@@ -1,0 +1,316 @@
+// Package djoin implements the distributed hash join over the DHT that
+// Harren et al. describe (and the paper builds its range-selection work
+// beside): to join R and S on a key, every peer holding tuples re-hashes
+// them by join key into the identifier space; the peer owning each key's
+// identifier receives both sides, joins locally, and the coordinator
+// collects the matches. The join never materializes either relation at a
+// single peer — only matching pairs travel to the coordinator.
+package djoin
+
+import (
+	"crypto/sha1"
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"sync"
+
+	"p2prange/internal/chord"
+	"p2prange/internal/peer"
+	"p2prange/internal/relation"
+	"p2prange/internal/transport"
+)
+
+// Side distinguishes the two join inputs.
+type Side uint8
+
+// Join sides.
+const (
+	Left Side = iota
+	Right
+)
+
+// Protocol messages.
+type (
+	// ScatterReq delivers one holder's tuples for the buckets a single
+	// owner peer is responsible for.
+	ScatterReq struct {
+		Session  string
+		Side     Side
+		Relation string
+		// Keys[i] is the exact join-key encoding of Tuples[i]; bucket
+		// routing uses its hash, matching uses the key itself (so hash
+		// collisions cannot produce false joins).
+		Keys   []string
+		Tuples []relation.Tuple
+	}
+	// CollectReq asks an owner for the joined pairs of a session.
+	CollectReq struct{ Session string }
+	// CollectResp returns the matched pairs.
+	CollectResp struct {
+		LeftRel, RightRel string
+		Left              []relation.Tuple
+		Right             []relation.Tuple
+	}
+	// CleanupReq discards a session's state at an owner.
+	CleanupReq struct{ Session string }
+)
+
+func init() {
+	transport.RegisterType(ScatterReq{})
+	transport.RegisterType(CollectReq{})
+	transport.RegisterType(CollectResp{})
+	transport.RegisterType(CleanupReq{})
+}
+
+// Service holds the owner-side state of distributed joins at one peer.
+// Attach exactly one per peer with NewService.
+type Service struct {
+	mu       sync.Mutex
+	sessions map[string]*session
+}
+
+type session struct {
+	leftRel, rightRel string
+	left              map[string][]relation.Tuple // join key -> tuples
+	right             map[string][]relation.Tuple
+}
+
+// NewService creates the join service and registers its protocol on p.
+func NewService(p *peer.Peer) *Service {
+	s := &Service{sessions: make(map[string]*session)}
+	p.RegisterAux(s.handle)
+	return s
+}
+
+func (s *Service) session(name string) *session {
+	sess, ok := s.sessions[name]
+	if !ok {
+		sess = &session{
+			left:  make(map[string][]relation.Tuple),
+			right: make(map[string][]relation.Tuple),
+		}
+		s.sessions[name] = sess
+	}
+	return sess
+}
+
+func (s *Service) handle(req any) (any, bool, error) {
+	switch r := req.(type) {
+	case ScatterReq:
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		sess := s.session(r.Session)
+		for i, key := range r.Keys {
+			if r.Side == Left {
+				sess.leftRel = r.Relation
+				sess.left[key] = append(sess.left[key], r.Tuples[i])
+			} else {
+				sess.rightRel = r.Relation
+				sess.right[key] = append(sess.right[key], r.Tuples[i])
+			}
+		}
+		return transport.OKResp{}, true, nil
+	case CollectReq:
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		sess, ok := s.sessions[r.Session]
+		resp := CollectResp{}
+		if ok {
+			resp.LeftRel, resp.RightRel = sess.leftRel, sess.rightRel
+			// Deterministic order: sorted keys.
+			keys := make([]string, 0, len(sess.left))
+			for k := range sess.left {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			for _, k := range keys {
+				for _, lt := range sess.left[k] {
+					for _, rt := range sess.right[k] {
+						resp.Left = append(resp.Left, lt)
+						resp.Right = append(resp.Right, rt)
+					}
+				}
+			}
+		}
+		return resp, true, nil
+	case CleanupReq:
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		delete(s.sessions, r.Session)
+		return transport.OKResp{}, true, nil
+	default:
+		return nil, false, nil
+	}
+}
+
+// Sessions reports how many sessions currently hold state (for tests).
+func (s *Service) Sessions() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.sessions)
+}
+
+// BufferedTuples reports how many scattered tuples this peer buffers for
+// a session — the per-peer join workload metric.
+func (s *Service) BufferedTuples(session string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sess, ok := s.sessions[session]
+	if !ok {
+		return 0
+	}
+	n := 0
+	for _, ts := range sess.left {
+		n += len(ts)
+	}
+	for _, ts := range sess.right {
+		n += len(ts)
+	}
+	return n
+}
+
+// KeyID places a join key on the identifier ring.
+func KeyID(session, key string) uint32 {
+	h := sha1.New()
+	h.Write([]byte(session))
+	h.Write([]byte{0})
+	h.Write([]byte(key))
+	return binary.BigEndian.Uint32(h.Sum(nil)[:4])
+}
+
+// EncodeKey renders a join-key value exactly (kind-tagged), so distinct
+// values never alias.
+func EncodeKey(v relation.Value) string {
+	return fmt.Sprintf("%d|%d|%s", v.Kind, v.Int, v.Str)
+}
+
+// Input is one side of the join: the tuples a holder peer contributes
+// and the key column to join on.
+type Input struct {
+	Holder *peer.Peer
+	Rel    *relation.Relation
+	Key    string // column name
+	Side   Side
+}
+
+// Scatter re-hashes every tuple of in to the owner of its join key,
+// batching one message per owner. It returns the identifiers used (the
+// coordinator collects from their owners) and the number of messages
+// sent.
+func Scatter(session string, in Input) (ids []uint32, messages int, err error) {
+	ki, ok := in.Rel.Schema.ColIndex(in.Key)
+	if !ok {
+		return nil, 0, fmt.Errorf("djoin: no column %s.%s", in.Rel.Schema.Name, in.Key)
+	}
+	type batch struct {
+		owner  chord.Ref
+		keys   []string
+		tuples []relation.Tuple
+	}
+	batches := make(map[uint32]*batch) // by owner id
+	idSet := make(map[uint32]bool)
+	for _, t := range in.Rel.Tuples {
+		key := EncodeKey(t[ki])
+		id := KeyID(session, key)
+		idSet[id] = true
+		owner, _, err := in.Holder.RouteOwner(id)
+		if err != nil {
+			return nil, 0, err
+		}
+		b, ok := batches[owner.ID]
+		if !ok {
+			b = &batch{owner: owner}
+			batches[owner.ID] = b
+		}
+		b.keys = append(b.keys, key)
+		b.tuples = append(b.tuples, t)
+	}
+	for _, b := range batches {
+		req := ScatterReq{
+			Session:  session,
+			Side:     in.Side,
+			Relation: in.Rel.Schema.Name,
+			Keys:     b.keys,
+			Tuples:   b.tuples,
+		}
+		if _, err := in.Holder.Call(b.owner, req); err != nil {
+			return nil, messages, err
+		}
+		messages++
+	}
+	for id := range idSet {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids, messages, nil
+}
+
+// Result is the joined output: pairs of (left, right) tuples plus the
+// schemas they came from.
+type Result struct {
+	LeftSchema, RightSchema *relation.RelationSchema
+	Left, Right             []relation.Tuple
+	// Messages is the total protocol messages (scatter batches + collect
+	// + cleanup), the distribution-cost metric.
+	Messages int
+}
+
+// Len returns the number of joined pairs.
+func (r *Result) Len() int { return len(r.Left) }
+
+// Run executes the full distributed join: both inputs scatter from their
+// holders, the coordinator collects from every bucket owner, and session
+// state is cleaned up. The coordinator needs only routing state — tuples
+// flow holder → owner → coordinator.
+func Run(coordinator *peer.Peer, session string, left, right Input) (*Result, error) {
+	left.Side, right.Side = Left, Right
+	res := &Result{LeftSchema: left.Rel.Schema, RightSchema: right.Rel.Schema}
+
+	idsL, msgsL, err := Scatter(session, left)
+	if err != nil {
+		return nil, fmt.Errorf("djoin: scatter left: %w", err)
+	}
+	idsR, msgsR, err := Scatter(session, right)
+	if err != nil {
+		return nil, fmt.Errorf("djoin: scatter right: %w", err)
+	}
+	res.Messages = msgsL + msgsR
+
+	// Owners to visit: the distinct owners of both sides' identifiers
+	// (matches can only exist where both sides landed, but cleanup must
+	// reach every owner that holds any state).
+	owners := make(map[uint32]chord.Ref)
+	for _, id := range append(append([]uint32{}, idsL...), idsR...) {
+		owner, _, err := coordinator.RouteOwner(id)
+		if err != nil {
+			return nil, err
+		}
+		owners[owner.ID] = owner
+	}
+	ordered := make([]chord.Ref, 0, len(owners))
+	for _, ref := range owners {
+		ordered = append(ordered, ref)
+	}
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i].ID < ordered[j].ID })
+
+	for _, owner := range ordered {
+		resp, err := coordinator.Call(owner, CollectReq{Session: session})
+		if err != nil {
+			return nil, fmt.Errorf("djoin: collect from %s: %w", owner, err)
+		}
+		res.Messages++
+		cr, ok := resp.(CollectResp)
+		if !ok {
+			return nil, transport.BadRequest(resp)
+		}
+		res.Left = append(res.Left, cr.Left...)
+		res.Right = append(res.Right, cr.Right...)
+	}
+	for _, owner := range ordered {
+		if _, err := coordinator.Call(owner, CleanupReq{Session: session}); err != nil {
+			return nil, fmt.Errorf("djoin: cleanup at %s: %w", owner, err)
+		}
+		res.Messages++
+	}
+	return res, nil
+}

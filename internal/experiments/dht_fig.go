@@ -1,0 +1,88 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"p2prange/internal/can"
+	"p2prange/internal/peer"
+	"p2prange/internal/sim"
+)
+
+func init() {
+	Register("dht", CompareDHTs)
+}
+
+// CompareDHTs routes the same LSH identifiers over the two DHTs the paper
+// cites — Chord (its choice) and CAN — and compares mean lookup path
+// lengths against their theoretical scaling (½·log2 N for Chord,
+// (d/4)·N^(1/d) for CAN). The experiment justifies the paper's substrate
+// choice quantitatively: for the ring sizes evaluated, Chord's
+// logarithmic routing beats low-dimensional CAN.
+func CompareDHTs(p Params) (*Table, error) {
+	t := &Table{
+		ID:      "dht",
+		Title:   "Routing substrate comparison: Chord vs CAN on the same identifiers",
+		Columns: []string{"peers", "chord", "0.5*log2(N)", "can d=2", "0.5*N^1/2", "can d=3", "0.75*N^1/3"},
+		Notes:   fmt.Sprintf("%d identifier lookups per configuration, approx min-wise identifiers", p.Unique),
+	}
+	scheme, err := scaleScheme(p)
+	if err != nil {
+		return nil, err
+	}
+	w := sim.NewScaleWorkload(scheme, p.Unique, p.Seed)
+	keys := make([]uint32, 0, len(w.IDs)*len(w.IDs[0]))
+	for _, ids := range w.IDs {
+		keys = append(keys, ids...)
+	}
+
+	for _, n := range p.Ns {
+		row := []string{fmt.Sprintf("%d", n)}
+
+		// Chord: route every key from random origins.
+		cluster, err := sim.NewCluster(sim.ClusterConfig{
+			N:    n,
+			Peer: peer.Config{Scheme: scheme},
+		})
+		if err != nil {
+			return nil, err
+		}
+		rng := rand.New(rand.NewSource(p.Seed + int64(n)))
+		total := 0
+		for _, key := range keys {
+			hops, err := cluster.RouteOnly(cluster.RandomPeer(rng), key)
+			if err != nil {
+				return nil, err
+			}
+			total += hops
+		}
+		row = append(row,
+			fmt.Sprintf("%.2f", float64(total)/float64(len(keys))),
+			fmt.Sprintf("%.2f", 0.5*math.Log2(float64(n))))
+
+		// CAN at d=2 and d=3 on the same keys.
+		for _, d := range []int{2, 3} {
+			net, err := can.New(d, n, p.Seed+int64(d))
+			if err != nil {
+				return nil, err
+			}
+			rng := rand.New(rand.NewSource(p.Seed + int64(n*d)))
+			total := 0
+			for _, key := range keys {
+				origin := net.Nodes()[rng.Intn(net.N())]
+				_, hops, err := net.Lookup(origin, key)
+				if err != nil {
+					return nil, err
+				}
+				total += hops
+			}
+			theory := float64(d) / 4 * math.Pow(float64(n), 1/float64(d))
+			row = append(row,
+				fmt.Sprintf("%.2f", float64(total)/float64(len(keys))),
+				fmt.Sprintf("%.2f", theory))
+		}
+		t.AddRow(row...)
+	}
+	return t, nil
+}

@@ -1,0 +1,154 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"p2prange/internal/minhash"
+	"p2prange/internal/peer"
+	"p2prange/internal/sim"
+)
+
+func init() {
+	Register("11a", Fig11a)
+	Register("11b", Fig11b)
+	Register("12a", Fig12a)
+	Register("12b", Fig12b)
+}
+
+// scaleScheme builds the scalability-run scheme: the paper's modified
+// Chord simulator hashes range sets to 5 identifiers with approximate
+// min-wise permutations.
+func scaleScheme(p Params) (*minhash.Scheme, error) {
+	return sim.Scheme(minhash.ApproxMinWise, p.Seed)
+}
+
+func runScaleAt(p Params, n int, w *sim.ScaleWorkload, scheme *minhash.Scheme) (*sim.ScaleResult, error) {
+	return sim.RunScale(sim.ClusterConfig{
+		N:    n,
+		Peer: peer.Config{Scheme: scheme},
+	}, w, p.Seed+int64(n))
+}
+
+// Fig11a reproduces Figure 11(a): mean and 1st/99th percentile of stored
+// partitions per node while the ring grows, with the stored-descriptor
+// count fixed (10,000 unique partitions x 5 identifiers = 50,000).
+func Fig11a(p Params) (*Table, error) {
+	scheme, err := scaleScheme(p)
+	if err != nil {
+		return nil, err
+	}
+	w := sim.NewScaleWorkload(scheme, p.Unique, p.Seed)
+	t := &Table{
+		ID:      "fig11a",
+		Title:   "Load distribution vs number of peers",
+		Columns: []string{"peers", "mean", "p1", "p99", "max"},
+		Notes: fmt.Sprintf("%d unique partitions x %d identifiers = %d stored descriptors",
+			p.Unique, minhash.DefaultL, w.Stored()),
+	}
+	for _, n := range p.Ns {
+		res, err := runScaleAt(p, n, w, scheme)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(
+			fmt.Sprintf("%d", n),
+			fmt.Sprintf("%.1f", res.Load.Mean),
+			fmt.Sprintf("%.0f", res.Load.P1),
+			fmt.Sprintf("%.0f", res.Load.P99),
+			fmt.Sprintf("%d", res.Load.Max),
+		)
+	}
+	return t, nil
+}
+
+// Fig11b reproduces Figure 11(b): load distribution in a fixed-size ring
+// while the number of stored partitions grows (paper: 1000 nodes,
+// 35,000-180,000 stored).
+func Fig11b(p Params) (*Table, error) {
+	scheme, err := scaleScheme(p)
+	if err != nil {
+		return nil, err
+	}
+	maxUnique := 0
+	for _, u := range p.StoredSweep {
+		if u > maxUnique {
+			maxUnique = u
+		}
+	}
+	w := sim.NewScaleWorkload(scheme, maxUnique, p.Seed)
+	t := &Table{
+		ID:      "fig11b",
+		Title:   fmt.Sprintf("Load distribution in a %d-node system vs stored partitions", p.ScaleN),
+		Columns: []string{"stored", "mean", "p1", "p99", "max"},
+		Notes:   fmt.Sprintf("unique-partition sweep %v, x%d identifiers each", p.StoredSweep, minhash.DefaultL),
+	}
+	for _, u := range p.StoredSweep {
+		res, err := runScaleAt(p, p.ScaleN, w.Truncate(u), scheme)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(
+			fmt.Sprintf("%d", res.Stored),
+			fmt.Sprintf("%.1f", res.Load.Mean),
+			fmt.Sprintf("%.0f", res.Load.P1),
+			fmt.Sprintf("%.0f", res.Load.P99),
+			fmt.Sprintf("%d", res.Load.Max),
+		)
+	}
+	return t, nil
+}
+
+// Fig12a reproduces Figure 12(a): mean and 1st/99th percentile lookup
+// path length as the ring grows, with ½·log2(N) for reference.
+func Fig12a(p Params) (*Table, error) {
+	scheme, err := scaleScheme(p)
+	if err != nil {
+		return nil, err
+	}
+	w := sim.NewScaleWorkload(scheme, p.Unique, p.Seed)
+	t := &Table{
+		ID:      "fig12a",
+		Title:   "Lookup path length vs number of peers",
+		Columns: []string{"peers", "mean", "p1", "p99", "0.5*log2(N)"},
+		Notes:   fmt.Sprintf("path lengths over %d find operations x %d identifiers", p.Unique, minhash.DefaultL),
+	}
+	for _, n := range p.Ns {
+		res, err := runScaleAt(p, n, w, scheme)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(
+			fmt.Sprintf("%d", n),
+			fmt.Sprintf("%.2f", res.PathLength.Mean()),
+			fmt.Sprintf("%d", res.PathLength.Percentile(1)),
+			fmt.Sprintf("%d", res.PathLength.Percentile(99)),
+			fmt.Sprintf("%.2f", 0.5*math.Log2(float64(n))),
+		)
+	}
+	return t, nil
+}
+
+// Fig12b reproduces Figure 12(b): the probability distribution of lookup
+// path lengths in a fixed-size ring (paper: 1000 nodes).
+func Fig12b(p Params) (*Table, error) {
+	scheme, err := scaleScheme(p)
+	if err != nil {
+		return nil, err
+	}
+	w := sim.NewScaleWorkload(scheme, p.Unique, p.Seed)
+	res, err := runScaleAt(p, p.ScaleN, w, scheme)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:      "fig12b",
+		Title:   fmt.Sprintf("PDF of lookup path length in a %d-node network", p.ScaleN),
+		Columns: []string{"path-length", "probability"},
+		Notes:   fmt.Sprintf("%d find operations; mean %.2f", res.PathLength.N(), res.PathLength.Mean()),
+	}
+	for v := 0; v <= res.PathLength.Max(); v++ {
+		t.AddRow(fmt.Sprintf("%d", v), fmt.Sprintf("%.4f", res.PathLength.P(v)))
+	}
+	return t, nil
+}

@@ -1,0 +1,66 @@
+package experiments
+
+import (
+	"fmt"
+
+	"p2prange/internal/metrics"
+	"p2prange/internal/minhash"
+	"p2prange/internal/peer"
+	"p2prange/internal/sim"
+)
+
+func init() {
+	Register("vnodes", AblationVirtualNodes)
+}
+
+// AblationVirtualNodes measures the Chord paper's remedy for the heavy
+// load tail Fig. 11 shows: each physical peer hosts v virtual ring
+// positions, so its total arc length concentrates toward the mean. The
+// simulation places N·v ring nodes and aggregates stored descriptors per
+// physical peer; p99/mean shrinking toward 1 as v grows is the expected
+// shape.
+func AblationVirtualNodes(p Params) (*Table, error) {
+	t := &Table{
+		ID:      "vnodes",
+		Title:   "Virtual nodes vs load-distribution tail",
+		Columns: []string{"vnodes/peer", "mean", "p1", "p99", "p99/mean"},
+		Notes: fmt.Sprintf("%d physical peers, %d unique partitions x %d identifiers",
+			p.ClusterN*4, p.Unique, minhash.DefaultL),
+	}
+	physical := p.ClusterN * 4
+	scheme, err := scaleScheme(p)
+	if err != nil {
+		return nil, err
+	}
+	w := sim.NewScaleWorkload(scheme, p.Unique, p.Seed)
+	for _, v := range []int{1, 2, 4, 8} {
+		cluster, err := sim.NewCluster(sim.ClusterConfig{
+			N:    physical * v,
+			Peer: peer.Config{Scheme: scheme},
+		})
+		if err != nil {
+			return nil, err
+		}
+		if err := cluster.StoreWorkload(w, p.Seed+int64(v)); err != nil {
+			return nil, err
+		}
+		loads := cluster.Loads()
+		agg := make([]int, physical)
+		for i, l := range loads {
+			agg[i%physical] += l
+		}
+		s := metrics.SummarizeLoad(agg)
+		ratio := 0.0
+		if s.Mean > 0 {
+			ratio = s.P99 / s.Mean
+		}
+		t.AddRow(
+			fmt.Sprintf("%d", v),
+			fmt.Sprintf("%.1f", s.Mean),
+			fmt.Sprintf("%.0f", s.P1),
+			fmt.Sprintf("%.0f", s.P99),
+			fmt.Sprintf("%.2f", ratio),
+		)
+	}
+	return t, nil
+}

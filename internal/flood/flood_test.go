@@ -1,0 +1,169 @@
+package flood
+
+import (
+	"math/rand"
+	"testing"
+
+	"p2prange/internal/rangeset"
+	"p2prange/internal/store"
+)
+
+func part(lo, hi int64) store.Partition {
+	return store.Partition{Relation: "R", Attribute: "a", Range: rangeset.Range{Lo: lo, Hi: hi}}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{N: 0}); err == nil {
+		t.Error("N=0 accepted")
+	}
+}
+
+func TestOverlayConnected(t *testing.T) {
+	n, err := New(Config{N: 200, Degree: 4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// BFS from 0 reaches everyone (the spanning-tree edges guarantee it).
+	seen := make([]bool, n.N())
+	queue := []int{0}
+	seen[0] = true
+	count := 1
+	for len(queue) > 0 {
+		p := queue[0]
+		queue = queue[1:]
+		for _, nb := range n.Neighbors(p) {
+			if !seen[nb] {
+				seen[nb] = true
+				count++
+				queue = append(queue, nb)
+			}
+		}
+	}
+	if count != n.N() {
+		t.Errorf("overlay disconnected: reached %d of %d", count, n.N())
+	}
+}
+
+func TestOverlayDegree(t *testing.T) {
+	n, err := New(Config{N: 500, Degree: 6, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for i := 0; i < n.N(); i++ {
+		total += len(n.Neighbors(i))
+	}
+	mean := float64(total) / float64(n.N())
+	if mean < 4 || mean > 8 {
+		t.Errorf("mean degree %g, want ≈ 6", mean)
+	}
+}
+
+func TestCacheDeduplicates(t *testing.T) {
+	n, _ := New(Config{N: 3, Degree: 2, Seed: 3})
+	n.Cache(0, part(0, 10))
+	n.Cache(0, part(0, 10))
+	if n.CacheLen(0) != 1 {
+		t.Errorf("CacheLen = %d, want 1", n.CacheLen(0))
+	}
+}
+
+func TestQueryTTLZeroOnlyOrigin(t *testing.T) {
+	n, _ := New(Config{N: 10, Degree: 3, Seed: 4})
+	n.Cache(0, part(0, 10))
+	n.Cache(1, part(20, 30))
+	res := n.Query(0, "R", "a", rangeset.Range{Lo: 0, Hi: 10}, store.MatchJaccard, 0)
+	if !res.Found || res.Match.Score != 1 {
+		t.Errorf("origin cache not searched: %+v", res)
+	}
+	if res.Messages != 0 || res.Visited != 1 {
+		t.Errorf("TTL 0 sent %d messages, visited %d", res.Messages, res.Visited)
+	}
+}
+
+func TestQueryFindsRemoteWithSufficientTTL(t *testing.T) {
+	n, _ := New(Config{N: 50, Degree: 4, Seed: 5})
+	target := part(100, 200)
+	n.Cache(37, target)
+	q := rangeset.Range{Lo: 100, Hi: 200}
+	// A large TTL floods the whole (connected) overlay.
+	res := n.Query(0, "R", "a", q, store.MatchJaccard, 50)
+	if !res.Found || res.Match.Partition.Range != target.Range {
+		t.Fatalf("whole-network flood missed the partition: %+v", res)
+	}
+	if res.Visited != 50 {
+		t.Errorf("visited %d of 50", res.Visited)
+	}
+	if res.Messages == 0 {
+		t.Error("no message accounting")
+	}
+}
+
+func TestQueryHorizonLimits(t *testing.T) {
+	// A line topology: 0-1-2-...-k; TTL < distance cannot reach the cache.
+	n := &Network{
+		neighbors: make([][]int, 6),
+		caches:    make([]map[string][]store.Partition, 6),
+	}
+	for i := range n.caches {
+		n.caches[i] = make(map[string][]store.Partition)
+	}
+	for i := 0; i < 5; i++ {
+		n.neighbors[i] = append(n.neighbors[i], i+1)
+		n.neighbors[i+1] = append(n.neighbors[i+1], i)
+	}
+	n.Cache(5, part(0, 10))
+	q := rangeset.Range{Lo: 0, Hi: 10}
+	if res := n.Query(0, "R", "a", q, store.MatchJaccard, 4); res.Found {
+		t.Error("TTL 4 reached a peer 5 hops away")
+	}
+	if res := n.Query(0, "R", "a", q, store.MatchJaccard, 5); !res.Found {
+		t.Error("TTL 5 missed a peer 5 hops away")
+	}
+}
+
+func TestQueryMessagesGrowWithTTL(t *testing.T) {
+	n, _ := New(Config{N: 300, Degree: 4, Seed: 6})
+	q := rangeset.Range{Lo: 0, Hi: 10}
+	prev := -1
+	for ttl := 0; ttl <= 6; ttl++ {
+		res := n.Query(0, "R", "a", q, store.MatchJaccard, ttl)
+		if res.Messages < prev {
+			t.Fatalf("messages fell as TTL grew: ttl=%d", ttl)
+		}
+		prev = res.Messages
+	}
+	if prev == 0 {
+		t.Error("flooding sent no messages at TTL 6")
+	}
+}
+
+func TestQueryIsolatesRelations(t *testing.T) {
+	n, _ := New(Config{N: 5, Degree: 2, Seed: 7})
+	n.Cache(0, part(0, 10))
+	if res := n.Query(0, "S", "a", rangeset.Range{Lo: 0, Hi: 10}, store.MatchJaccard, 2); res.Found {
+		t.Error("match leaked across relations")
+	}
+}
+
+func TestQueryBestAcrossPeers(t *testing.T) {
+	n, _ := New(Config{N: 30, Degree: 4, Seed: 8})
+	rng := rand.New(rand.NewSource(9))
+	q := rangeset.Range{Lo: 400, Hi: 500}
+	best := 0.0
+	for i := 0; i < 30; i++ {
+		lo := rng.Int63n(900)
+		p := part(lo, lo+rng.Int63n(100))
+		n.Cache(i, p)
+		if sc := store.MatchJaccard.Score(q, p.Range); sc > best {
+			best = sc
+		}
+	}
+	res := n.Query(0, "R", "a", q, store.MatchJaccard, 30)
+	if res.Found != (best > 0) {
+		t.Fatalf("found=%v, brute best=%g", res.Found, best)
+	}
+	if res.Found && res.Match.Score != best {
+		t.Errorf("flood best %g, brute force %g", res.Match.Score, best)
+	}
+}

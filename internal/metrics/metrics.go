@@ -1,0 +1,265 @@
+// Package metrics provides the summary statistics the paper's evaluation
+// reports: histograms over [0,1] similarity scores, cumulative "percentage
+// of queries answered up to x" curves, percentiles of per-node load, and
+// discrete probability distributions of path lengths.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Histogram counts float64 samples in equal-width bins over [lo, hi].
+// Samples outside the domain clamp to the edge bins. The zero value is
+// unusable; construct with NewHistogram.
+type Histogram struct {
+	lo, hi float64
+	counts []int
+	n      int
+}
+
+// NewHistogram builds a histogram of bins equal-width bins over [lo, hi].
+func NewHistogram(lo, hi float64, bins int) *Histogram {
+	if bins <= 0 || hi <= lo {
+		panic(fmt.Sprintf("metrics: bad histogram domain [%g,%g] x %d", lo, hi, bins))
+	}
+	return &Histogram{lo: lo, hi: hi, counts: make([]int, bins)}
+}
+
+// Add records one sample.
+func (h *Histogram) Add(v float64) {
+	i := int(float64(len(h.counts)) * (v - h.lo) / (h.hi - h.lo))
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(h.counts) {
+		i = len(h.counts) - 1
+	}
+	h.counts[i]++
+	h.n++
+}
+
+// N returns the number of recorded samples.
+func (h *Histogram) N() int { return h.n }
+
+// Bins returns the number of bins.
+func (h *Histogram) Bins() int { return len(h.counts) }
+
+// Count returns the raw count of bin i.
+func (h *Histogram) Count(i int) int { return h.counts[i] }
+
+// BinStart returns the lower edge of bin i.
+func (h *Histogram) BinStart(i int) float64 {
+	return h.lo + (h.hi-h.lo)*float64(i)/float64(len(h.counts))
+}
+
+// Percent returns bin i's share of all samples, in percent (the y-axis of
+// Figs. 6-7).
+func (h *Histogram) Percent(i int) float64 {
+	if h.n == 0 {
+		return 0
+	}
+	return 100 * float64(h.counts[i]) / float64(h.n)
+}
+
+// Percents returns all bins' shares in percent.
+func (h *Histogram) Percents() []float64 {
+	out := make([]float64, len(h.counts))
+	for i := range h.counts {
+		out[i] = h.Percent(i)
+	}
+	return out
+}
+
+// String renders an aligned two-column table (bin start, percent).
+func (h *Histogram) String() string {
+	var b strings.Builder
+	for i := range h.counts {
+		fmt.Fprintf(&b, "%6.2f %7.2f%%\n", h.BinStart(i), h.Percent(i))
+	}
+	return b.String()
+}
+
+// CDF accumulates samples and reports cumulative fractions. The paper's
+// recall figures (8-10) plot "percentage of queries answered up to at
+// least x" as x decreases from 1 to 0, i.e. a survival curve; AtLeast
+// provides it directly.
+type CDF struct {
+	sorted bool
+	vs     []float64
+}
+
+// Add records a sample.
+func (c *CDF) Add(v float64) {
+	c.vs = append(c.vs, v)
+	c.sorted = false
+}
+
+// N returns the number of samples.
+func (c *CDF) N() int { return len(c.vs) }
+
+func (c *CDF) sort() {
+	if !c.sorted {
+		sort.Float64s(c.vs)
+		c.sorted = true
+	}
+}
+
+// AtLeast returns the percentage of samples >= x.
+func (c *CDF) AtLeast(x float64) float64 {
+	if len(c.vs) == 0 {
+		return 0
+	}
+	c.sort()
+	i := sort.SearchFloat64s(c.vs, x)
+	return 100 * float64(len(c.vs)-i) / float64(len(c.vs))
+}
+
+// Percentile returns the p-th percentile (0 <= p <= 100) by
+// nearest-rank on the sorted samples.
+func (c *CDF) Percentile(p float64) float64 {
+	if len(c.vs) == 0 {
+		return math.NaN()
+	}
+	c.sort()
+	if p <= 0 {
+		return c.vs[0]
+	}
+	rank := int(math.Ceil(p / 100 * float64(len(c.vs))))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(c.vs) {
+		rank = len(c.vs)
+	}
+	return c.vs[rank-1]
+}
+
+// Mean returns the arithmetic mean of the samples.
+func (c *CDF) Mean() float64 {
+	if len(c.vs) == 0 {
+		return math.NaN()
+	}
+	var s float64
+	for _, v := range c.vs {
+		s += v
+	}
+	return s / float64(len(c.vs))
+}
+
+// Survival renders the Figs. 8-10 style series: for thresholds 1.0 down to
+// 0.0 in the given step, the percentage of samples >= threshold.
+func (c *CDF) Survival(step float64) []Point {
+	var pts []Point
+	for x := 1.0; x > -step/2; x -= step {
+		if x < 0 {
+			x = 0
+		}
+		pts = append(pts, Point{X: x, Y: c.AtLeast(x)})
+	}
+	return pts
+}
+
+// Point is one (x, y) sample of a reported series.
+type Point struct {
+	X, Y float64
+}
+
+// IntDist is a discrete distribution over small non-negative integers,
+// used for path-length PDFs (Fig. 12(b)).
+type IntDist struct {
+	counts []int
+	n      int
+}
+
+// Add records one observation.
+func (d *IntDist) Add(v int) {
+	if v < 0 {
+		v = 0
+	}
+	for len(d.counts) <= v {
+		d.counts = append(d.counts, 0)
+	}
+	d.counts[v]++
+	d.n++
+}
+
+// N returns the number of observations.
+func (d *IntDist) N() int { return d.n }
+
+// Max returns the largest observed value.
+func (d *IntDist) Max() int { return len(d.counts) - 1 }
+
+// P returns the probability mass at v.
+func (d *IntDist) P(v int) float64 {
+	if d.n == 0 || v < 0 || v >= len(d.counts) {
+		return 0
+	}
+	return float64(d.counts[v]) / float64(d.n)
+}
+
+// Mean returns the expectation.
+func (d *IntDist) Mean() float64 {
+	if d.n == 0 {
+		return math.NaN()
+	}
+	var s float64
+	for v, c := range d.counts {
+		s += float64(v) * float64(c)
+	}
+	return s / float64(d.n)
+}
+
+// Percentile returns the p-th percentile by nearest rank.
+func (d *IntDist) Percentile(p float64) int {
+	if d.n == 0 {
+		return 0
+	}
+	rank := int(math.Ceil(p / 100 * float64(d.n)))
+	if rank < 1 {
+		rank = 1
+	}
+	cum := 0
+	for v, c := range d.counts {
+		cum += c
+		if cum >= rank {
+			return v
+		}
+	}
+	return len(d.counts) - 1
+}
+
+// LoadSummary reports the per-node load statistics of Fig. 11: the mean
+// and the 1st and 99th percentiles of stored partitions per node.
+type LoadSummary struct {
+	Mean     float64
+	P1, P99  float64
+	Min, Max int
+}
+
+// SummarizeLoad computes a LoadSummary over per-node counts.
+func SummarizeLoad(perNode []int) LoadSummary {
+	if len(perNode) == 0 {
+		return LoadSummary{}
+	}
+	var c CDF
+	minv, maxv := perNode[0], perNode[0]
+	for _, v := range perNode {
+		c.Add(float64(v))
+		if v < minv {
+			minv = v
+		}
+		if v > maxv {
+			maxv = v
+		}
+	}
+	return LoadSummary{
+		Mean: c.Mean(),
+		P1:   c.Percentile(1),
+		P99:  c.Percentile(99),
+		Min:  minv,
+		Max:  maxv,
+	}
+}

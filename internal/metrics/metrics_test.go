@@ -1,0 +1,188 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestHistogramBinning(t *testing.T) {
+	h := NewHistogram(0, 1, 10)
+	for _, v := range []float64{0, 0.05, 0.95, 1.0, -0.3, 1.7} {
+		h.Add(v)
+	}
+	if h.N() != 6 {
+		t.Errorf("N = %d", h.N())
+	}
+	if h.Count(0) != 3 { // 0, 0.05, clamped -0.3
+		t.Errorf("bin 0 count = %d, want 3", h.Count(0))
+	}
+	if h.Count(9) != 3 { // 0.95, clamped 1.0 and 1.7
+		t.Errorf("bin 9 count = %d, want 3", h.Count(9))
+	}
+	if got := h.Percent(0); got != 50 {
+		t.Errorf("Percent(0) = %g", got)
+	}
+	if got := h.BinStart(5); got != 0.5 {
+		t.Errorf("BinStart(5) = %g", got)
+	}
+	if sum := sumFloats(h.Percents()); math.Abs(sum-100) > 1e-9 {
+		t.Errorf("percents sum to %g", sum)
+	}
+	if !strings.Contains(h.String(), "%") {
+		t.Error("String() lacks rendering")
+	}
+}
+
+func TestHistogramPanicsOnBadDomain(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic for bad domain")
+		}
+	}()
+	NewHistogram(1, 0, 10)
+}
+
+func TestCDFAtLeast(t *testing.T) {
+	var c CDF
+	for _, v := range []float64{0, 0.25, 0.5, 0.75, 1} {
+		c.Add(v)
+	}
+	cases := []struct {
+		x, want float64
+	}{
+		{0, 100},
+		{0.5, 60},
+		{1, 20},
+		{1.1, 0},
+	}
+	for _, cse := range cases {
+		if got := c.AtLeast(cse.x); got != cse.want {
+			t.Errorf("AtLeast(%g) = %g, want %g", cse.x, got, cse.want)
+		}
+	}
+}
+
+func TestCDFPercentile(t *testing.T) {
+	var c CDF
+	for i := 1; i <= 100; i++ {
+		c.Add(float64(i))
+	}
+	if got := c.Percentile(1); got != 1 {
+		t.Errorf("p1 = %g", got)
+	}
+	if got := c.Percentile(50); got != 50 {
+		t.Errorf("p50 = %g", got)
+	}
+	if got := c.Percentile(99); got != 99 {
+		t.Errorf("p99 = %g", got)
+	}
+	if got := c.Percentile(100); got != 100 {
+		t.Errorf("p100 = %g", got)
+	}
+	if got := c.Percentile(0); got != 1 {
+		t.Errorf("p0 = %g", got)
+	}
+}
+
+func TestCDFMeanAndEmpty(t *testing.T) {
+	var c CDF
+	if !math.IsNaN(c.Mean()) || !math.IsNaN(c.Percentile(50)) {
+		t.Error("empty CDF should report NaN")
+	}
+	if c.AtLeast(0.5) != 0 {
+		t.Error("empty CDF AtLeast should be 0")
+	}
+	c.Add(2)
+	c.Add(4)
+	if c.Mean() != 3 {
+		t.Errorf("mean = %g", c.Mean())
+	}
+}
+
+func TestCDFSurvivalMonotone(t *testing.T) {
+	var c CDF
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 1000; i++ {
+		c.Add(rng.Float64())
+	}
+	pts := c.Survival(0.05)
+	if pts[0].X != 1 {
+		t.Errorf("survival starts at %g", pts[0].X)
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Y < pts[i-1].Y {
+			t.Fatalf("survival not monotone at %v", pts[i])
+		}
+	}
+	if last := pts[len(pts)-1]; last.X != 0 || last.Y != 100 {
+		t.Errorf("survival ends at %+v, want (0, 100)", last)
+	}
+}
+
+func TestIntDist(t *testing.T) {
+	var d IntDist
+	for _, v := range []int{2, 2, 3, 5, -1} {
+		d.Add(v)
+	}
+	if d.N() != 5 {
+		t.Errorf("N = %d", d.N())
+	}
+	if d.P(2) != 0.4 {
+		t.Errorf("P(2) = %g", d.P(2))
+	}
+	if d.P(0) != 0.2 { // the clamped -1
+		t.Errorf("P(0) = %g", d.P(0))
+	}
+	if d.P(99) != 0 {
+		t.Errorf("P(99) = %g", d.P(99))
+	}
+	if d.Max() != 5 {
+		t.Errorf("Max = %d", d.Max())
+	}
+	if got := d.Mean(); math.Abs(got-(0+2+2+3+5)/5.0) > 1e-12 {
+		t.Errorf("Mean = %g", got)
+	}
+	if got := d.Percentile(50); got != 2 {
+		t.Errorf("p50 = %d", got)
+	}
+	if got := d.Percentile(99); got != 5 {
+		t.Errorf("p99 = %d", got)
+	}
+	var sum float64
+	for v := 0; v <= d.Max(); v++ {
+		sum += d.P(v)
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Errorf("PDF sums to %g", sum)
+	}
+}
+
+func TestSummarizeLoad(t *testing.T) {
+	loads := make([]int, 100)
+	for i := range loads {
+		loads[i] = i + 1
+	}
+	s := SummarizeLoad(loads)
+	if s.Mean != 50.5 {
+		t.Errorf("mean = %g", s.Mean)
+	}
+	if s.P1 != 1 || s.P99 != 99 {
+		t.Errorf("percentiles = %g, %g", s.P1, s.P99)
+	}
+	if s.Min != 1 || s.Max != 100 {
+		t.Errorf("min/max = %d/%d", s.Min, s.Max)
+	}
+	if got := SummarizeLoad(nil); got != (LoadSummary{}) {
+		t.Errorf("empty summary = %+v", got)
+	}
+}
+
+func sumFloats(vs []float64) float64 {
+	var s float64
+	for _, v := range vs {
+		s += v
+	}
+	return s
+}

@@ -1,0 +1,59 @@
+package minhash
+
+// The full and approximate min-wise permutations are bit permutations:
+// every output bit is one input bit. That makes Apply linear over
+// bitwise-OR of disjoint inputs, so the whole permutation collapses into
+// four 256-entry byte tables. Compile produces that form. The naive
+// per-bit Apply is kept as the faithful implementation whose cost Fig. 5
+// measures; quality and topology experiments (Figs. 6-12) use the
+// compiled form since they measure match quality, not hashing time.
+
+// compiledPerm is a byte-table accelerated bit permutation.
+type compiledPerm struct {
+	family Family
+	tab    [4][256]uint32
+}
+
+// Apply implements Permutation.
+func (c *compiledPerm) Apply(x uint32) uint32 {
+	return c.tab[0][byte(x)] |
+		c.tab[1][byte(x>>8)] |
+		c.tab[2][byte(x>>16)] |
+		c.tab[3][byte(x>>24)]
+}
+
+// Family implements Permutation.
+func (c *compiledPerm) Family() Family { return c.family }
+
+// Compile returns a semantically identical but faster permutation.
+// Bit permutations compile to byte tables; linear permutations are
+// already a multiply and return unchanged.
+func Compile(p Permutation) Permutation {
+	switch p.(type) {
+	case *FullPermutation, *ApproxPermutation:
+		c := &compiledPerm{family: p.Family()}
+		for bi := 0; bi < 4; bi++ {
+			for v := 0; v < 256; v++ {
+				c.tab[bi][v] = p.Apply(uint32(v) << (8 * bi))
+			}
+		}
+		return c
+	default:
+		return p
+	}
+}
+
+// Compiled returns a scheme whose permutations are all compiled; the
+// group structure and key material are unchanged, so identifiers are
+// bit-for-bit identical to the uncompiled scheme's.
+func (s *Scheme) Compiled() *Scheme {
+	out := &Scheme{family: s.family, groups: make([]*Group, len(s.groups))}
+	for i, g := range s.groups {
+		ng := &Group{perms: make([]Permutation, len(g.perms))}
+		for j, p := range g.perms {
+			ng.perms[j] = Compile(p)
+		}
+		out.groups[i] = ng
+	}
+	return out
+}

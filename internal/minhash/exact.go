@@ -1,0 +1,47 @@
+package minhash
+
+import (
+	"crypto/sha1"
+	"encoding/binary"
+
+	"p2prange/internal/rangeset"
+)
+
+// Hasher maps a selection range to the DHT identifiers it is stored under
+// and probed at. Scheme (LSH) is the paper's contribution; ExactScheme is
+// the strawman of Section 3.1 it improves upon.
+type Hasher interface {
+	// Identifiers returns the identifiers for q, one per probe.
+	Identifiers(q rangeset.Range) []ID
+	// L returns the number of identifiers per range.
+	L() int
+}
+
+var _ Hasher = (*Scheme)(nil)
+
+// ExactScheme is the paper's Section 3.1 baseline: "use the specific
+// range [30-50] as a key" — the range descriptor is hashed with SHA-1 to
+// a single identifier. Identical ranges always collide; everything else
+// never does, so a query for [30,49] cannot benefit from a cached
+// [30,50] even though the cached partition contains its entire answer.
+type ExactScheme struct{}
+
+// NewExactScheme returns the exact-match baseline hasher.
+func NewExactScheme() *ExactScheme { return &ExactScheme{} }
+
+var _ Hasher = (*ExactScheme)(nil)
+
+// Identifiers hashes the range endpoints to one identifier.
+func (*ExactScheme) Identifiers(q rangeset.Range) []ID {
+	var buf [16]byte
+	binary.BigEndian.PutUint64(buf[0:8], uint64(q.Lo))
+	binary.BigEndian.PutUint64(buf[8:16], uint64(q.Hi))
+	sum := sha1.Sum(buf[:])
+	return []ID{binary.BigEndian.Uint32(sum[:4])}
+}
+
+// L returns 1: exact matching stores each range under a single key.
+func (*ExactScheme) L() int { return 1 }
+
+// String identifies the baseline in reports.
+func (*ExactScheme) String() string { return "exact-match (SHA-1 of range)" }

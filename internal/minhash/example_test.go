@@ -1,0 +1,63 @@
+package minhash_test
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"p2prange/internal/minhash"
+	"p2prange/internal/rangeset"
+)
+
+// The paper's motivating pair: a query for ages [30,49] against a cached
+// partition [30,50]. They are 95% similar, so with the paper's (k=20,
+// l=5) scheme they agree on at least one of the five identifiers with
+// high probability — which is how the cached partition is found.
+func ExampleScheme_Identifiers() {
+	scheme, err := minhash.NewDefaultScheme(minhash.ApproxMinWise,
+		rand.New(rand.NewSource(7)))
+	if err != nil {
+		log.Fatal(err)
+	}
+	cached := rangeset.Range{Lo: 30, Hi: 50}
+	query := rangeset.Range{Lo: 30, Hi: 49}
+
+	a := scheme.Identifiers(cached)
+	b := scheme.Identifiers(query)
+	collisions := 0
+	for i := range a {
+		if a[i] == b[i] {
+			collisions++
+		}
+	}
+	fmt.Printf("jaccard %.2f, %d of %d identifiers collide\n",
+		query.Jaccard(cached), collisions, scheme.L())
+
+	// A dissimilar range shares nothing.
+	far := rangeset.Range{Lo: 700, Hi: 900}
+	c := scheme.Identifiers(far)
+	collisions = 0
+	for i := range a {
+		if a[i] == c[i] {
+			collisions++
+		}
+	}
+	fmt.Printf("dissimilar range: %d collisions\n", collisions)
+	// Output:
+	// jaccard 0.95, 5 of 5 identifiers collide
+	// dissimilar range: 0 collisions
+}
+
+// CollideProbability shows why the paper chose k=20, l=5: the collision
+// probability approximates a step function with its step at 0.9.
+func ExampleCollideProbability() {
+	for _, sim := range []float64{0.5, 0.8, 0.9, 0.95, 1.0} {
+		fmt.Printf("sim %.2f -> P %.3f\n", sim, minhash.CollideProbability(sim, 20, 5))
+	}
+	// Output:
+	// sim 0.50 -> P 0.000
+	// sim 0.80 -> P 0.056
+	// sim 0.90 -> P 0.477
+	// sim 0.95 -> P 0.891
+	// sim 1.00 -> P 1.000
+}

@@ -1,0 +1,424 @@
+// Package peer implements the paper's peer node: a chord participant that
+// owns identifier buckets of partition descriptors, hashes query ranges
+// with the shared LSH scheme, and runs the Section 4 protocol — compute l
+// identifiers for a range, contact the peers owning them, collect each
+// bucket's best match, pick the overall best, and cache the new partition
+// at those peers when no exact match exists.
+package peer
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"p2prange/internal/chord"
+	"p2prange/internal/minhash"
+	"p2prange/internal/rangeset"
+	"p2prange/internal/relation"
+	"p2prange/internal/store"
+	"p2prange/internal/transport"
+)
+
+// Partition protocol messages.
+type (
+	// FindBestReq asks the peer owning bucket ID for its best match.
+	FindBestReq struct {
+		ID        uint32
+		Relation  string
+		Attribute string
+		Range     rangeset.Range
+		Measure   store.Measure
+	}
+	// FindBestResp returns the bucket's best candidate, if any.
+	FindBestResp struct {
+		Match store.Match
+		Found bool
+	}
+	// StoreReq asks the peer owning bucket ID to record a descriptor.
+	// Replica marks copies an owner pushes to its successors; replicas
+	// are stored but not re-replicated.
+	StoreReq struct {
+		ID        uint32
+		Partition store.Partition
+		Replica   bool
+	}
+	// StoreResp acknowledges and reports whether it was new.
+	StoreResp struct{ Stored bool }
+	// FetchDataReq asks a holder peer for a partition's tuples.
+	FetchDataReq struct {
+		Relation  string
+		Attribute string
+		Range     rangeset.Range
+	}
+	// FetchDataResp carries the materialized tuples.
+	FetchDataResp struct {
+		Found bool
+		Data  wireRelation
+	}
+)
+
+// wireRelation is the gob-friendly form of relation.Relation (schemas
+// travel by name; every peer knows the global schema).
+type wireRelation struct {
+	Relation string
+	Tuples   []relation.Tuple
+}
+
+func init() {
+	for _, v := range []any{
+		FindBestReq{}, FindBestResp{}, StoreReq{}, StoreResp{},
+		FetchDataReq{}, FetchDataResp{},
+	} {
+		transport.RegisterType(v)
+	}
+}
+
+// Config parameterizes a peer.
+type Config struct {
+	// Scheme maps ranges to DHT identifiers: the shared LSH scheme
+	// (*minhash.Scheme — all peers must use identical key material or
+	// identifiers will not line up), or minhash.ExactScheme for the
+	// Section 3.1 exact-match baseline.
+	Scheme minhash.Hasher
+	// Measure is the bucket-level match measure (default Jaccard).
+	Measure store.Measure
+	// Chord configures the DHT node.
+	Chord chord.Config
+	// Schema is the global relational schema; may be nil for range-only
+	// deployments (no data serving).
+	Schema *relation.Schema
+	// UsePeerIndex enables the Section 5.3 extension: bucket searches at a
+	// peer consult all buckets the peer owns, not just the requested one.
+	UsePeerIndex bool
+	// Replicas pushes each stored descriptor to that many ring successors
+	// so an owner crash does not lose it: after the ring repairs, the
+	// bucket's new owner (the first successor) already holds the copy.
+	Replicas int
+	// CacheCapacity bounds the peer's descriptor store; on overflow the
+	// least-recently-matched descriptor evicts. 0 means unbounded (the
+	// paper's model).
+	CacheCapacity int
+}
+
+// AuxHandler extends a peer's protocol with additional message types
+// (e.g. the distributed-join service). It reports whether it recognized
+// the request.
+type AuxHandler func(req any) (resp any, handled bool, err error)
+
+// Peer is one node of the system.
+type Peer struct {
+	cfg    Config
+	node   *chord.Node
+	store  *store.Store
+	caller transport.Caller
+
+	mu   sync.RWMutex
+	data map[string]*relation.Partition // materialized partitions by Key()
+	aux  []AuxHandler
+}
+
+// New creates a peer at addr using caller to reach others. Register its
+// Handle with the transport before use.
+func New(addr string, caller transport.Caller, cfg Config) (*Peer, error) {
+	if cfg.Scheme == nil {
+		return nil, errors.New("peer: Config.Scheme is required")
+	}
+	st := store.New()
+	if cfg.CacheCapacity > 0 {
+		st = store.NewBounded(cfg.CacheCapacity)
+	}
+	p := &Peer{
+		cfg:    cfg,
+		store:  st,
+		caller: caller,
+		data:   make(map[string]*relation.Partition),
+	}
+	p.node = chord.NewNode(addr, transport.ChordClient{Caller: caller}, cfg.Chord)
+	return p, nil
+}
+
+// Node exposes the chord node (for ring construction and diagnostics).
+func (p *Peer) Node() *chord.Node { return p.node }
+
+// Store exposes the partition store (for load accounting).
+func (p *Peer) Store() *store.Store { return p.store }
+
+// Addr returns the peer's transport address.
+func (p *Peer) Addr() string { return p.node.Addr() }
+
+// Ref returns the peer's chord reference.
+func (p *Peer) Ref() chord.Ref { return p.node.Ref() }
+
+// Handle dispatches an incoming request (chord or partition protocol).
+func (p *Peer) Handle(req any) (any, error) {
+	if resp, handled, err := transport.DispatchChord(p.node, req); handled {
+		return resp, err
+	}
+	switch r := req.(type) {
+	case FindBestReq:
+		var m store.Match
+		var ok bool
+		if p.cfg.UsePeerIndex {
+			m, ok = p.store.FindBestAnywhere(r.Relation, r.Attribute, r.Range, r.Measure)
+		} else {
+			m, ok = p.store.FindBest(r.ID, r.Relation, r.Attribute, r.Range, r.Measure)
+		}
+		return FindBestResp{Match: m, Found: ok}, nil
+	case StoreReq:
+		stored := p.store.Put(r.ID, r.Partition)
+		if stored && !r.Replica && p.cfg.Replicas > 0 {
+			p.replicate(r)
+		}
+		return StoreResp{Stored: stored}, nil
+	case HandoffReq:
+		return p.handleHandoff(r)
+	case TransferArcReq:
+		return p.handleTransferArc(r)
+	case FetchDataReq:
+		part, ok := p.localPartition(r.Relation, r.Attribute, r.Range)
+		if !ok {
+			return FetchDataResp{Found: false}, nil
+		}
+		return FetchDataResp{
+			Found: true,
+			Data:  wireRelation{Relation: part.Relation, Tuples: part.Data.Tuples},
+		}, nil
+	default:
+		p.mu.RLock()
+		aux := p.aux
+		p.mu.RUnlock()
+		for _, h := range aux {
+			if resp, handled, err := h(req); handled {
+				return resp, err
+			}
+		}
+		return nil, transport.BadRequest(req)
+	}
+}
+
+// replicate pushes a freshly stored descriptor to the first Replicas
+// live successors. Replication is best-effort: an unreachable successor
+// is skipped (stabilization will drop it from the list anyway).
+func (p *Peer) replicate(r StoreReq) {
+	r.Replica = true
+	sent := 0
+	for _, succ := range p.node.SuccessorList() {
+		if sent >= p.cfg.Replicas {
+			return
+		}
+		if succ.IsZero() || succ.ID == p.node.ID() {
+			continue
+		}
+		if _, err := p.call(succ, r); err == nil {
+			sent++
+		}
+	}
+}
+
+// RegisterAux installs an auxiliary protocol handler, consulted for
+// request types the core protocol does not recognize.
+func (p *Peer) RegisterAux(h AuxHandler) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.aux = append(p.aux, h)
+}
+
+// RouteOwner resolves the peer owning a raw identifier (for services,
+// like the distributed join, that place their own keys on the ring).
+func (p *Peer) RouteOwner(id uint32) (chord.Ref, int, error) {
+	return p.node.Lookup(id)
+}
+
+// Call sends a request to a ref, short-circuiting locally; exposed for
+// auxiliary services built on the peer's transport.
+func (p *Peer) Call(to chord.Ref, req any) (any, error) {
+	return p.call(to, req)
+}
+
+// Identifiers returns the l LSH identifiers of q.
+func (p *Peer) Identifiers(q rangeset.Range) []uint32 {
+	return p.cfg.Scheme.Identifiers(q)
+}
+
+// LookupResult is the outcome of a Section 4 range lookup.
+type LookupResult struct {
+	// Match is the best partition found across all l probes.
+	Match store.Match
+	// Found reports whether any probe returned a candidate.
+	Found bool
+	// Hops holds the chord path length of each of the l probes; its mean
+	// and distribution are the Fig. 12 metrics.
+	Hops []int
+	// Stored reports whether the query's own partition descriptor was
+	// cached (it is, at all l owners, whenever the best match is not
+	// exact).
+	Stored bool
+}
+
+// MaxRangeSize bounds the value-set size a range may have to be hashed:
+// min-wise hashing is linear in the range size (that is Fig. 5's cost),
+// so an unclamped half-open range (e.g. 2^63 values) must be rejected
+// rather than iterated.
+const MaxRangeSize = 1 << 22
+
+// checkRange validates a range for the hashing protocol.
+func checkRange(q rangeset.Range) error {
+	if !q.Valid() {
+		return fmt.Errorf("peer: invalid range %s", q)
+	}
+	// A valid range has at least one value, so a non-positive Size means
+	// Hi-Lo+1 overflowed int64 — e.g. [MinInt64, MaxInt64] wraps to 0.
+	if size := q.Size(); size <= 0 || size > MaxRangeSize {
+		return fmt.Errorf("peer: range %s too large to hash (max %d values)", q, MaxRangeSize)
+	}
+	return nil
+}
+
+// Lookup runs the paper's query-side protocol for a range selection on
+// relation.attribute: hash to l identifiers, route to each owner, collect
+// best matches, and return the overall best. When store is true and no
+// exact match (score 1) exists, the query range is also recorded at the l
+// owners — "If none of the match is exact, also store the computed
+// partition at the peers holding the computed identifiers."
+func (p *Peer) Lookup(rel, attribute string, q rangeset.Range, cache bool) (LookupResult, error) {
+	var res LookupResult
+	if err := checkRange(q); err != nil {
+		return res, err
+	}
+	ids := p.cfg.Scheme.Identifiers(q)
+	owners := make([]chord.Ref, len(ids))
+	for i, id := range ids {
+		owner, hops, err := p.node.Lookup(id)
+		if err != nil {
+			return res, fmt.Errorf("peer: route to bucket %08x: %w", id, err)
+		}
+		owners[i] = owner
+		res.Hops = append(res.Hops, hops)
+
+		resp, err := p.call(owner, FindBestReq{
+			ID: id, Relation: rel, Attribute: attribute, Range: q, Measure: p.cfg.Measure,
+		})
+		if err != nil {
+			return res, err
+		}
+		fb, ok := resp.(FindBestResp)
+		if !ok {
+			return res, transport.BadRequest(resp)
+		}
+		if fb.Found && (!res.Found || fb.Match.Score > res.Match.Score) {
+			res.Match = fb.Match
+			res.Found = true
+		}
+	}
+	exact := res.Found && res.Match.Partition.Range == q
+	if cache && !exact {
+		for i, id := range ids {
+			_, err := p.call(owners[i], StoreReq{
+				ID: id,
+				Partition: store.Partition{
+					Relation: rel, Attribute: attribute, Range: q, Holder: p.Addr(),
+				},
+			})
+			if err != nil {
+				return res, err
+			}
+		}
+		res.Stored = true
+	}
+	return res, nil
+}
+
+// Publish stores a partition descriptor (held by this peer) under its l
+// identifiers, routing to each owner. It returns the chord hop counts.
+func (p *Peer) Publish(part store.Partition) ([]int, error) {
+	if part.Holder == "" {
+		part.Holder = p.Addr()
+	}
+	if err := checkRange(part.Range); err != nil {
+		return nil, err
+	}
+	ids := p.cfg.Scheme.Identifiers(part.Range)
+	hops := make([]int, 0, len(ids))
+	for _, id := range ids {
+		owner, h, err := p.node.Lookup(id)
+		if err != nil {
+			return hops, fmt.Errorf("peer: route to bucket %08x: %w", id, err)
+		}
+		hops = append(hops, h)
+		if _, err := p.call(owner, StoreReq{ID: id, Partition: part}); err != nil {
+			return hops, err
+		}
+	}
+	return hops, nil
+}
+
+// call routes a request to a ref, short-circuiting to the local handler.
+func (p *Peer) call(to chord.Ref, req any) (any, error) {
+	if to.ID == p.node.ID() {
+		return p.Handle(req)
+	}
+	return p.caller.Call(to.Addr, req)
+}
+
+// --- Local partition data (the holder side of data fetches) ---
+
+// AddPartition materializes partition data at this peer so it can serve
+// FetchData requests for it.
+func (p *Peer) AddPartition(part *relation.Partition) {
+	key := store.Partition{
+		Relation: part.Relation, Attribute: part.Attribute, Range: part.Range,
+	}.Key()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.data[key] = part
+}
+
+// localPartition returns the materialized partition, if held.
+func (p *Peer) localPartition(rel, attribute string, rg rangeset.Range) (*relation.Partition, bool) {
+	key := store.Partition{Relation: rel, Attribute: attribute, Range: rg}.Key()
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	part, ok := p.data[key]
+	return part, ok
+}
+
+// PartitionCount returns how many materialized partitions the peer holds.
+func (p *Peer) PartitionCount() int {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return len(p.data)
+}
+
+// FetchData retrieves the tuples of a matched partition from its holder.
+func (p *Peer) FetchData(m store.Match) (*relation.Relation, error) {
+	if p.cfg.Schema == nil {
+		return nil, errors.New("peer: no schema configured")
+	}
+	req := FetchDataReq{
+		Relation:  m.Partition.Relation,
+		Attribute: m.Partition.Attribute,
+		Range:     m.Partition.Range,
+	}
+	var resp any
+	var err error
+	if m.Partition.Holder == p.Addr() {
+		resp, err = p.Handle(req)
+	} else {
+		resp, err = p.caller.Call(m.Partition.Holder, req)
+	}
+	if err != nil {
+		return nil, err
+	}
+	fd, ok := resp.(FetchDataResp)
+	if !ok {
+		return nil, transport.BadRequest(resp)
+	}
+	if !fd.Found {
+		return nil, fmt.Errorf("peer: holder %s no longer has %s", m.Partition.Holder, m.Partition)
+	}
+	rs, ok := p.cfg.Schema.Relation(fd.Data.Relation)
+	if !ok {
+		return nil, fmt.Errorf("peer: unknown relation %q in fetched data", fd.Data.Relation)
+	}
+	return &relation.Relation{Schema: rs, Tuples: fd.Data.Tuples}, nil
+}

@@ -1,0 +1,245 @@
+package query
+
+import (
+	"fmt"
+	"strings"
+
+	"p2prange/internal/relation"
+)
+
+// ColRef names a column, optionally qualified by relation.
+type ColRef struct {
+	Relation string // empty until resolved
+	Column   string
+}
+
+// String formats the reference.
+func (c ColRef) String() string {
+	if c.Relation == "" {
+		return c.Column
+	}
+	return c.Relation + "." + c.Column
+}
+
+// Operand is one side of a comparison: a column reference, a literal, or
+// a literal list (the right side of IN).
+type Operand struct {
+	Col  ColRef
+	Lit  *relation.Value  // single literal
+	List []relation.Value // IN list
+}
+
+// IsCol reports whether the operand is a column reference.
+func (o Operand) IsCol() bool { return o.Lit == nil && o.List == nil }
+
+// String formats the operand as re-parseable SQL.
+func (o Operand) String() string {
+	if len(o.List) > 0 {
+		parts := make([]string, len(o.List))
+		for i, v := range o.List {
+			parts[i] = sqlLiteral(v)
+		}
+		return "(" + strings.Join(parts, ", ") + ")"
+	}
+	if o.Lit != nil {
+		return sqlLiteral(*o.Lit)
+	}
+	return o.Col.String()
+}
+
+// sqlLiteral renders a literal in the dialect's own syntax: strings in
+// single quotes with doubled-quote escaping, dates as quoted YYYY-MM-DD,
+// integers bare.
+func sqlLiteral(v relation.Value) string {
+	switch v.Kind {
+	case relation.TString:
+		return "'" + strings.ReplaceAll(v.Str, "'", "''") + "'"
+	case relation.TDate:
+		return "'" + v.String() + "'"
+	default:
+		return v.String()
+	}
+}
+
+// CmpOp is a comparison operator.
+type CmpOp int
+
+// Comparison operators.
+const (
+	OpLT CmpOp = iota
+	OpLE
+	OpGT
+	OpGE
+	OpEQ
+	OpNE
+	// OpIn tests membership in a literal list; the DHT resolves the list's
+	// covering range [min, max] and the exact membership re-checks locally.
+	OpIn
+)
+
+// String formats the operator.
+func (op CmpOp) String() string {
+	switch op {
+	case OpLT:
+		return "<"
+	case OpLE:
+		return "<="
+	case OpGT:
+		return ">"
+	case OpGE:
+		return ">="
+	case OpEQ:
+		return "="
+	case OpNE:
+		return "<>"
+	case OpIn:
+		return "IN"
+	default:
+		return fmt.Sprintf("CmpOp(%d)", int(op))
+	}
+}
+
+// flip mirrors the operator so "lit op col" normalizes to "col flip lit".
+func (op CmpOp) flip() CmpOp {
+	switch op {
+	case OpLT:
+		return OpGT
+	case OpLE:
+		return OpGE
+	case OpGT:
+		return OpLT
+	case OpGE:
+		return OpLE
+	default:
+		return op
+	}
+}
+
+// Predicate is one conjunct of the WHERE clause.
+type Predicate struct {
+	Left  Operand
+	Op    CmpOp
+	Right Operand
+}
+
+// String formats the predicate.
+func (p Predicate) String() string {
+	return fmt.Sprintf("%s %s %s", p.Left, p.Op, p.Right)
+}
+
+// AggKind identifies an aggregate function in the select list.
+type AggKind int
+
+// Aggregate functions.
+const (
+	AggNone AggKind = iota
+	AggCount
+	AggSum
+	AggAvg
+	AggMin
+	AggMax
+)
+
+// String names the aggregate as written in SQL.
+func (a AggKind) String() string {
+	switch a {
+	case AggCount:
+		return "COUNT"
+	case AggSum:
+		return "SUM"
+	case AggAvg:
+		return "AVG"
+	case AggMin:
+		return "MIN"
+	case AggMax:
+		return "MAX"
+	default:
+		return ""
+	}
+}
+
+// SelectItem is one entry of the projection list: a plain column, or an
+// aggregate over a column (Star marks COUNT(*)).
+type SelectItem struct {
+	Agg  AggKind
+	Col  ColRef
+	Star bool // COUNT(*)
+}
+
+// String renders the item as SQL.
+func (s SelectItem) String() string {
+	if s.Agg == AggNone {
+		return s.Col.String()
+	}
+	if s.Star {
+		return s.Agg.String() + "(*)"
+	}
+	return s.Agg.String() + "(" + s.Col.String() + ")"
+}
+
+// OrderSpec is an ORDER BY clause: one column, ascending by default.
+type OrderSpec struct {
+	Col  ColRef
+	Desc bool
+}
+
+// Query is the parsed SELECT statement: a projection list (empty means *),
+// FROM relations, a conjunction of predicates, and optional GROUP BY /
+// ORDER BY / LIMIT clauses.
+type Query struct {
+	Distinct bool
+	Select   []SelectItem
+	From     []string
+	Where    []Predicate
+	GroupBy  *ColRef
+	OrderBy  *OrderSpec
+	// Limit caps the result rows; negative means no limit (Parse
+	// initializes it to -1; programmatic builders must set it, since the
+	// zero value is the legal LIMIT 0).
+	Limit int
+}
+
+// String re-renders the query approximately.
+func (q *Query) String() string {
+	var b strings.Builder
+	b.WriteString("SELECT ")
+	if q.Distinct {
+		b.WriteString("DISTINCT ")
+	}
+	if len(q.Select) == 0 {
+		b.WriteString("*")
+	} else {
+		for i, c := range q.Select {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(c.String())
+		}
+	}
+	b.WriteString(" FROM ")
+	b.WriteString(strings.Join(q.From, ", "))
+	if len(q.Where) > 0 {
+		b.WriteString(" WHERE ")
+		for i, p := range q.Where {
+			if i > 0 {
+				b.WriteString(" AND ")
+			}
+			b.WriteString(p.String())
+		}
+	}
+	if q.GroupBy != nil {
+		b.WriteString(" GROUP BY ")
+		b.WriteString(q.GroupBy.String())
+	}
+	if q.OrderBy != nil {
+		b.WriteString(" ORDER BY ")
+		b.WriteString(q.OrderBy.Col.String())
+		if q.OrderBy.Desc {
+			b.WriteString(" DESC")
+		}
+	}
+	if q.Limit >= 0 {
+		fmt.Fprintf(&b, " LIMIT %d", q.Limit)
+	}
+	return b.String()
+}

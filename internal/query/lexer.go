@@ -1,0 +1,202 @@
+// Package query implements the restricted SQL front end of the paper's
+// architecture: SELECT queries with conjunctive WHERE clauses of
+// single-attribute range predicates and equijoins. The planner pushes
+// selects to the leaves (paper Fig. 1) and emits, per relation, the one
+// range selection the P2P layer resolves through the DHT; the executor
+// evaluates the remaining plan (residual filters, hash joins, projection)
+// locally at the querying peer.
+package query
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokenKind enumerates lexer token classes.
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokStar
+	tokComma
+	tokDot
+	tokLParen
+	tokRParen
+	tokLT // <
+	tokLE // <=
+	tokGT // >
+	tokGE // >=
+	tokEQ // =
+	tokNE // <> or !=
+	tokKeyword
+)
+
+// token is one lexeme with its source position (1-based byte offset).
+type token struct {
+	kind tokenKind
+	text string
+	pos  int
+}
+
+func (t token) String() string {
+	switch t.kind {
+	case tokEOF:
+		return "end of input"
+	case tokString:
+		return fmt.Sprintf("'%s'", t.text)
+	default:
+		return fmt.Sprintf("%q", t.text)
+	}
+}
+
+// keywords are matched case-insensitively and normalized to upper case.
+var keywords = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true, "AND": true,
+	"BETWEEN": true, "NOT": true, "OR": true,
+	"ORDER": true, "BY": true, "ASC": true, "DESC": true, "LIMIT": true,
+	"GROUP": true, "IN": true, "DISTINCT": true,
+}
+
+// SyntaxError reports a lexical or grammatical problem with its position.
+type SyntaxError struct {
+	Pos int
+	Msg string
+}
+
+// Error implements error.
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("query: syntax error at byte %d: %s", e.Pos, e.Msg)
+}
+
+func errAt(pos int, format string, args ...any) error {
+	return &SyntaxError{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+// lex tokenizes src.
+func lex(src string) ([]token, error) {
+	var toks []token
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '*':
+			toks = append(toks, token{tokStar, "*", i + 1})
+			i++
+		case c == ',':
+			toks = append(toks, token{tokComma, ",", i + 1})
+			i++
+		case c == '(':
+			toks = append(toks, token{tokLParen, "(", i + 1})
+			i++
+		case c == ')':
+			toks = append(toks, token{tokRParen, ")", i + 1})
+			i++
+		case c == '.':
+			// A dot is qualification punctuation only when not inside a
+			// number (numbers are lexed below before reaching here).
+			toks = append(toks, token{tokDot, ".", i + 1})
+			i++
+		case c == '<':
+			if i+1 < len(src) && src[i+1] == '=' {
+				toks = append(toks, token{tokLE, "<=", i + 1})
+				i += 2
+			} else if i+1 < len(src) && src[i+1] == '>' {
+				toks = append(toks, token{tokNE, "<>", i + 1})
+				i += 2
+			} else {
+				toks = append(toks, token{tokLT, "<", i + 1})
+				i++
+			}
+		case c == '>':
+			if i+1 < len(src) && src[i+1] == '=' {
+				toks = append(toks, token{tokGE, ">=", i + 1})
+				i += 2
+			} else {
+				toks = append(toks, token{tokGT, ">", i + 1})
+				i++
+			}
+		case c == '=':
+			toks = append(toks, token{tokEQ, "=", i + 1})
+			i++
+		case c == '!':
+			if i+1 < len(src) && src[i+1] == '=' {
+				toks = append(toks, token{tokNE, "!=", i + 1})
+				i += 2
+			} else {
+				return nil, errAt(i+1, "unexpected %q", c)
+			}
+		case c == '\'' || c == '"':
+			// SQL-style string literal: the quote character escapes by
+			// doubling ('it''s' is the string it's).
+			quote := c
+			var val strings.Builder
+			j := i + 1
+			for {
+				if j == len(src) {
+					return nil, errAt(i+1, "unterminated string literal")
+				}
+				if src[j] == quote {
+					if j+1 < len(src) && src[j+1] == quote {
+						val.WriteByte(quote)
+						j += 2
+						continue
+					}
+					break
+				}
+				val.WriteByte(src[j])
+				j++
+			}
+			toks = append(toks, token{tokString, val.String(), i + 1})
+			i = j + 1
+		case c >= '0' && c <= '9':
+			j := i
+			for j < len(src) && (src[j] >= '0' && src[j] <= '9' || src[j] == '-') {
+				// Allow digits and dashes so the paper's date style
+				// 01-01-2000 lexes as one number-ish token; the parser
+				// decides whether it is an integer or a date.
+				if src[j] == '-' && (j+1 >= len(src) || src[j+1] < '0' || src[j+1] > '9') {
+					break
+				}
+				j++
+			}
+			toks = append(toks, token{tokNumber, src[i:j], i + 1})
+			i = j
+		case c == '-':
+			// Negative integer literal.
+			j := i + 1
+			for j < len(src) && src[j] >= '0' && src[j] <= '9' {
+				j++
+			}
+			if j == i+1 {
+				return nil, errAt(i+1, "unexpected %q", c)
+			}
+			toks = append(toks, token{tokNumber, src[i:j], i + 1})
+			i = j
+		case isIdentStart(rune(c)):
+			j := i
+			for j < len(src) && isIdentPart(rune(src[j])) {
+				j++
+			}
+			word := src[i:j]
+			if up := strings.ToUpper(word); keywords[up] {
+				toks = append(toks, token{tokKeyword, up, i + 1})
+			} else {
+				toks = append(toks, token{tokIdent, word, i + 1})
+			}
+			i = j
+		default:
+			return nil, errAt(i+1, "unexpected %q", c)
+		}
+	}
+	toks = append(toks, token{tokEOF, "", len(src) + 1})
+	return toks, nil
+}
+
+func isIdentStart(r rune) bool { return r == '_' || unicode.IsLetter(r) }
+func isIdentPart(r rune) bool  { return r == '_' || unicode.IsLetter(r) || unicode.IsDigit(r) }

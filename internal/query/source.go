@@ -1,0 +1,67 @@
+package query
+
+import (
+	"fmt"
+	"math"
+
+	"p2prange/internal/rangeset"
+	"p2prange/internal/relation"
+)
+
+// RelationSource is a Source backed by fully materialized relations — the
+// "data source peer" of the paper, or a purely local execution. It always
+// covers the requested range exactly.
+type RelationSource struct {
+	Rels map[string]*relation.Relation
+}
+
+// NewRelationSource wraps a set of base relations.
+func NewRelationSource(rels map[string]*relation.Relation) *RelationSource {
+	return &RelationSource{Rels: rels}
+}
+
+// Fetch implements Source by selecting from the base relation.
+func (s *RelationSource) Fetch(rel, attribute string, rg rangeset.Range) (*relation.Relation, rangeset.Range, error) {
+	r, ok := s.Rels[rel]
+	if !ok {
+		return nil, rangeset.Range{}, fmt.Errorf("%w: %s", ErrNoSource, rel)
+	}
+	rg = ClampToDomain(r, attribute, rg)
+	data, err := r.SelectRange(attribute, rg)
+	if err != nil {
+		return nil, rangeset.Range{}, err
+	}
+	return data, rg, nil
+}
+
+// FetchAll implements Source.
+func (s *RelationSource) FetchAll(rel string) (*relation.Relation, error) {
+	r, ok := s.Rels[rel]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNoSource, rel)
+	}
+	return r, nil
+}
+
+// ClampToDomain narrows half-open plan ranges (MinInt64/MaxInt64
+// endpoints) to the attribute's observed domain so they can be hashed and
+// selected. Fully bounded ranges pass through unchanged.
+func ClampToDomain(r *relation.Relation, attribute string, rg rangeset.Range) rangeset.Range {
+	if rg.Lo != math.MinInt64 && rg.Hi != math.MaxInt64 {
+		return rg
+	}
+	dom, err := r.AttributeRange(attribute)
+	if err != nil {
+		return rg
+	}
+	if rg.Lo == math.MinInt64 {
+		rg.Lo = dom.Lo
+	}
+	if rg.Hi == math.MaxInt64 {
+		rg.Hi = dom.Hi
+	}
+	if rg.Hi < rg.Lo {
+		rg.Hi = rg.Lo
+	}
+	return rg
+}

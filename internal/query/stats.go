@@ -1,0 +1,237 @@
+package query
+
+import (
+	"fmt"
+	"math"
+
+	"p2prange/internal/rangeset"
+	"p2prange/internal/relation"
+)
+
+// Stats summarizes base relations for the planner: tuple counts and
+// equi-width attribute histograms. This backs the paper's third
+// future-work item ("planning a query in a peer-to-peer system based on
+// available statistics"): with Stats supplied, BuildPlanWith orders the
+// join tree by estimated scan cardinality instead of FROM order.
+type Stats struct {
+	rels map[string]*relStats
+}
+
+type relStats struct {
+	rows  int
+	attrs map[string]*attrHist
+}
+
+// statBuckets is the histogram resolution.
+const statBuckets = 32
+
+// attrHist is an equi-width histogram over an attribute's ordinal domain.
+type attrHist struct {
+	lo, hi int64
+	counts [statBuckets]int
+	total  int
+}
+
+func newAttrHist(lo, hi int64) *attrHist {
+	if hi < lo {
+		hi = lo
+	}
+	return &attrHist{lo: lo, hi: hi}
+}
+
+func (h *attrHist) bucket(v int64) int {
+	if h.hi == h.lo {
+		return 0
+	}
+	i := int((v - h.lo) * statBuckets / (h.hi - h.lo + 1))
+	if i < 0 {
+		i = 0
+	}
+	if i >= statBuckets {
+		i = statBuckets - 1
+	}
+	return i
+}
+
+func (h *attrHist) add(v int64) {
+	h.counts[h.bucket(v)]++
+	h.total++
+}
+
+// selectivity estimates the fraction of tuples with ordinal in rg,
+// assuming uniformity within buckets.
+func (h *attrHist) selectivity(rg rangeset.Range) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	lo, hi := rg.Lo, rg.Hi
+	if hi < h.lo || lo > h.hi {
+		return 0
+	}
+	if lo < h.lo {
+		lo = h.lo
+	}
+	if hi > h.hi {
+		hi = h.hi
+	}
+	width := float64(h.hi-h.lo+1) / statBuckets
+	var est float64
+	for b := h.bucket(lo); b <= h.bucket(hi); b++ {
+		bLo := float64(h.lo) + float64(b)*width
+		bHi := bLo + width
+		overlap := math.Min(bHi, float64(hi)+1) - math.Max(bLo, float64(lo))
+		if overlap <= 0 {
+			continue
+		}
+		est += float64(h.counts[b]) * overlap / width
+	}
+	return est / float64(h.total)
+}
+
+// NewStats builds statistics for the given base relations; string
+// attributes are histogrammed over their hashed ordinals, which still
+// estimates equality selects reasonably.
+func NewStats(rels map[string]*relation.Relation) *Stats {
+	s := &Stats{rels: make(map[string]*relStats)}
+	for name, r := range rels {
+		rs := &relStats{rows: r.Len(), attrs: make(map[string]*attrHist)}
+		s.rels[name] = rs
+		for ci, col := range r.Schema.Columns {
+			if r.Len() == 0 {
+				continue
+			}
+			lo, hi := r.Tuples[0][ci].Ordinal(), r.Tuples[0][ci].Ordinal()
+			for _, t := range r.Tuples {
+				v := t[ci].Ordinal()
+				if v < lo {
+					lo = v
+				}
+				if v > hi {
+					hi = v
+				}
+			}
+			h := newAttrHist(lo, hi)
+			for _, t := range r.Tuples {
+				h.add(t[ci].Ordinal())
+			}
+			rs.attrs[col.Name] = h
+		}
+	}
+	return s
+}
+
+// Rows returns the tuple count of a relation (0 when unknown).
+func (s *Stats) Rows(rel string) int {
+	if rs, ok := s.rels[rel]; ok {
+		return rs.rows
+	}
+	return 0
+}
+
+// Selectivity estimates the fraction of rel's tuples selected by rg over
+// attribute, defaulting to 1 (no information).
+func (s *Stats) Selectivity(rel, attribute string, rg rangeset.Range) float64 {
+	rs, ok := s.rels[rel]
+	if !ok {
+		return 1
+	}
+	h, ok := rs.attrs[attribute]
+	if !ok {
+		return 1
+	}
+	return h.selectivity(rg)
+}
+
+// EstimateScan estimates a scan's output cardinality.
+func (s *Stats) EstimateScan(scan Scan) float64 {
+	rows := float64(s.Rows(scan.Relation))
+	if rows == 0 {
+		return math.Inf(1) // unknown relations sort last
+	}
+	if scan.Selective() {
+		rg := scan.Range
+		// Clamp half-open bounds to the histogram's domain.
+		if rs, ok := s.rels[scan.Relation]; ok {
+			if h, ok := rs.attrs[scan.Attribute]; ok {
+				if rg.Lo == math.MinInt64 {
+					rg.Lo = h.lo
+				}
+				if rg.Hi == math.MaxInt64 {
+					rg.Hi = h.hi
+				}
+			}
+		}
+		rows *= s.Selectivity(scan.Relation, scan.Attribute, rg)
+	}
+	// Residual equality filters get a generic 10% selectivity each.
+	for range scan.Residual {
+		rows *= 0.10
+	}
+	return rows
+}
+
+// OrderScans reorders the plan's scans greedily by estimated cardinality
+// while keeping the left-deep join tree connected: the smallest scan
+// starts, then at each step the smallest *connected* relation joins next
+// (falling back to the smallest remaining one when the join graph is
+// disconnected). The executor evaluates joins in scan order, so this is
+// the complete join-ordering decision.
+func (s *Stats) OrderScans(plan *Plan) {
+	n := len(plan.Scans)
+	if n <= 2 {
+		if n == 2 && s.EstimateScan(plan.Scans[1]) < s.EstimateScan(plan.Scans[0]) {
+			plan.Scans[0], plan.Scans[1] = plan.Scans[1], plan.Scans[0]
+		}
+		return
+	}
+	est := make(map[string]float64, n)
+	for _, sc := range plan.Scans {
+		est[sc.Relation] = s.EstimateScan(sc)
+	}
+	connected := func(rel string, placed map[string]bool) bool {
+		for _, j := range plan.Joins {
+			if j.Left.Relation == rel && placed[j.Right.Relation] {
+				return true
+			}
+			if j.Right.Relation == rel && placed[j.Left.Relation] {
+				return true
+			}
+		}
+		return false
+	}
+	remaining := append([]Scan(nil), plan.Scans...)
+	var out []Scan
+	placed := map[string]bool{}
+	for len(remaining) > 0 {
+		best := -1
+		for i, sc := range remaining {
+			if len(out) > 0 && !connected(sc.Relation, placed) {
+				continue
+			}
+			if best < 0 || est[sc.Relation] < est[remaining[best].Relation] {
+				best = i
+			}
+		}
+		if best < 0 {
+			best = 0 // disconnected component: take the smallest remaining
+			for i := range remaining {
+				if est[remaining[i].Relation] < est[remaining[best].Relation] {
+					best = i
+				}
+			}
+		}
+		out = append(out, remaining[best])
+		placed[remaining[best].Relation] = true
+		remaining = append(remaining[:best], remaining[best+1:]...)
+	}
+	plan.Scans = out
+}
+
+// String summarizes the statistics for diagnostics.
+func (s *Stats) String() string {
+	out := "stats:"
+	for name, rs := range s.rels {
+		out += fmt.Sprintf(" %s=%d", name, rs.rows)
+	}
+	return out
+}

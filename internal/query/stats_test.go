@@ -1,0 +1,147 @@
+package query
+
+import (
+	"math"
+	"testing"
+
+	"p2prange/internal/rangeset"
+	"p2prange/internal/relation"
+)
+
+func statsFixture(t *testing.T) (*Stats, map[string]*relation.Relation) {
+	t.Helper()
+	rels, err := relation.GenerateMedical(relation.MedicalConfig{
+		Patients: 1000, Physicians: 30, Diagnoses: 2000, Seed: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewStats(rels), rels
+}
+
+func TestStatsRows(t *testing.T) {
+	s, rels := statsFixture(t)
+	for name, r := range rels {
+		if got := s.Rows(name); got != r.Len() {
+			t.Errorf("Rows(%s) = %d, want %d", name, got, r.Len())
+		}
+	}
+	if s.Rows("Nope") != 0 {
+		t.Error("unknown relation should report 0 rows")
+	}
+}
+
+func TestStatsSelectivityAccuracy(t *testing.T) {
+	s, rels := statsFixture(t)
+	pat := rels["Patient"]
+	cases := []rangeset.Range{
+		{Lo: 1, Hi: 99},    // everything
+		{Lo: 30, Hi: 50},   // interior band
+		{Lo: 90, Hi: 99},   // right tail
+		{Lo: 200, Hi: 300}, // outside the domain
+	}
+	for _, rg := range cases {
+		truth := 0
+		for _, tp := range pat.Tuples {
+			if rg.Contains(tp[2].Int) {
+				truth++
+			}
+		}
+		trueSel := float64(truth) / float64(pat.Len())
+		est := s.Selectivity("Patient", "age", rg)
+		if math.Abs(est-trueSel) > 0.05 {
+			t.Errorf("Selectivity(age, %v) = %.3f, true %.3f", rg, est, trueSel)
+		}
+	}
+	// Unknown attribute defaults to 1.
+	if got := s.Selectivity("Patient", "shoe", rangeset.Range{Lo: 0, Hi: 1}); got != 1 {
+		t.Errorf("unknown attribute selectivity = %g", got)
+	}
+}
+
+func TestStatsEstimateScan(t *testing.T) {
+	s, rels := statsFixture(t)
+	full := Scan{Relation: "Patient"}
+	if got := s.EstimateScan(full); got != float64(rels["Patient"].Len()) {
+		t.Errorf("full scan estimate = %g", got)
+	}
+	sel := Scan{Relation: "Patient", Attribute: "age", Range: rangeset.Range{Lo: 30, Hi: 50}}
+	if got := s.EstimateScan(sel); got >= float64(rels["Patient"].Len()) || got <= 0 {
+		t.Errorf("selective scan estimate = %g", got)
+	}
+	half := Scan{Relation: "Patient", Attribute: "age", Range: rangeset.Range{Lo: 90, Hi: math.MaxInt64}}
+	if got := s.EstimateScan(half); got >= float64(rels["Patient"].Len())/2 {
+		t.Errorf("half-open tail estimate = %g, should clamp to the domain", got)
+	}
+	if got := s.EstimateScan(Scan{Relation: "Ghost"}); !math.IsInf(got, 1) {
+		t.Errorf("unknown relation estimate = %g, want +Inf", got)
+	}
+}
+
+func TestOrderScansPutsSelectiveFirst(t *testing.T) {
+	s, _ := statsFixture(t)
+	q, err := Parse(`SELECT Prescription.prescription FROM Prescription, Diagnosis, Patient
+		WHERE 40 <= age AND age <= 42
+		AND Patient.patient_id = Diagnosis.patient_id
+		AND Diagnosis.prescription_id = Prescription.prescription_id`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := BuildPlanWith(q, relation.MedicalSchema(), PlanOptions{Stats: s})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The tiny age band makes Patient by far the smallest input; without
+	// stats the FROM order would start with Prescription (2000 rows).
+	if plan.Scans[0].Relation != "Patient" {
+		t.Errorf("scan order = %v, want Patient first", relNames(plan))
+	}
+	// Connectivity: Diagnosis must come before Prescription (only
+	// Diagnosis joins directly to Patient).
+	if plan.Scans[1].Relation != "Diagnosis" {
+		t.Errorf("scan order = %v, want Diagnosis second (join connectivity)", relNames(plan))
+	}
+	// Same rows as the unordered plan.
+	rels, _ := relation.GenerateMedical(relation.MedicalConfig{
+		Patients: 1000, Physicians: 30, Diagnoses: 2000, Seed: 8,
+	})
+	src := NewRelationSource(rels)
+	unordered, err := BuildPlan(q, relation.MedicalSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Execute(plan, relation.MedicalSchema(), src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Execute(unordered, relation.MedicalSchema(), src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Rows) != len(b.Rows) {
+		t.Errorf("ordered plan returned %d rows, unordered %d", len(a.Rows), len(b.Rows))
+	}
+}
+
+func TestOrderScansTwoRelations(t *testing.T) {
+	s, _ := statsFixture(t)
+	q, err := Parse(`SELECT * FROM Diagnosis, Physician WHERE Physician.physician_id = Diagnosis.physician_id`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := BuildPlanWith(q, relation.MedicalSchema(), PlanOptions{Stats: s})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Scans[0].Relation != "Physician" { // 30 rows vs 2000
+		t.Errorf("scan order = %v, want Physician first", relNames(plan))
+	}
+}
+
+func relNames(p *Plan) []string {
+	out := make([]string, len(p.Scans))
+	for i, s := range p.Scans {
+		out[i] = s.Relation
+	}
+	return out
+}

@@ -1,0 +1,54 @@
+package relation
+
+import (
+	"fmt"
+	"sort"
+
+	"p2prange/internal/rangeset"
+)
+
+// BuildIndex builds (or rebuilds) a sorted index over the attribute's
+// ordinals, making SelectRange on that attribute O(log n + k) instead of
+// a full scan. Data-source peers that serve many partition
+// materializations benefit most. Inserts invalidate all indexes.
+func (r *Relation) BuildIndex(attribute string) error {
+	ci, ok := r.Schema.ColIndex(attribute)
+	if !ok {
+		return fmt.Errorf("%w: %s.%s", ErrNoColumn, r.Schema.Name, attribute)
+	}
+	idx := make([]int, len(r.Tuples))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		return r.Tuples[idx[a]][ci].Ordinal() < r.Tuples[idx[b]][ci].Ordinal()
+	})
+	if r.indexes == nil {
+		r.indexes = make(map[string][]int)
+	}
+	r.indexes[attribute] = idx
+	return nil
+}
+
+// Indexed reports whether the attribute currently has a valid index.
+func (r *Relation) Indexed(attribute string) bool {
+	_, ok := r.indexes[attribute]
+	return ok
+}
+
+// selectViaIndex gathers the tuples in rg using the sorted index.
+func (r *Relation) selectViaIndex(attribute string, ci int, rg rangeset.Range) *Relation {
+	idx := r.indexes[attribute]
+	lo := sort.Search(len(idx), func(i int) bool {
+		return r.Tuples[idx[i]][ci].Ordinal() >= rg.Lo
+	})
+	out := NewRelation(r.Schema)
+	for i := lo; i < len(idx); i++ {
+		t := r.Tuples[idx[i]]
+		if t[ci].Ordinal() > rg.Hi {
+			break
+		}
+		out.Tuples = append(out.Tuples, t)
+	}
+	return out
+}

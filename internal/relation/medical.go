@@ -1,0 +1,152 @@
+package relation
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// The paper's running example (Sec. 2): a medical global schema with
+// Patient, Diagnosis, Physician, and Prescription relations.
+
+// MedicalSchema returns the global schema of the paper's example.
+func MedicalSchema() *Schema {
+	s, err := NewSchema(
+		&RelationSchema{Name: "Patient", Columns: []Column{
+			{Name: "patient_id", Type: TInt},
+			{Name: "name", Type: TString},
+			{Name: "age", Type: TInt},
+		}},
+		&RelationSchema{Name: "Diagnosis", Columns: []Column{
+			{Name: "patient_id", Type: TInt},
+			{Name: "diagnosis", Type: TString},
+			{Name: "physician_id", Type: TInt},
+			{Name: "prescription_id", Type: TInt},
+		}},
+		&RelationSchema{Name: "Physician", Columns: []Column{
+			{Name: "physician_id", Type: TInt},
+			{Name: "name", Type: TString},
+			{Name: "age", Type: TInt},
+			{Name: "specialization", Type: TString},
+		}},
+		&RelationSchema{Name: "Prescription", Columns: []Column{
+			{Name: "prescription_id", Type: TInt},
+			{Name: "date", Type: TDate},
+			{Name: "prescription", Type: TString},
+			{Name: "comments", Type: TString},
+		}},
+	)
+	if err != nil {
+		panic(err) // static schema; cannot fail
+	}
+	return s
+}
+
+// MedicalConfig sizes the synthetic medical dataset.
+type MedicalConfig struct {
+	Patients   int
+	Physicians int
+	Diagnoses  int // one prescription is generated per diagnosis
+	Seed       int64
+}
+
+// DefaultMedicalConfig is a small but join-rich dataset.
+func DefaultMedicalConfig() MedicalConfig {
+	return MedicalConfig{Patients: 2000, Physicians: 50, Diagnoses: 5000, Seed: 42}
+}
+
+var (
+	diagnosisNames = []string{
+		"Glaucoma", "Diabetes", "Hypertension", "Asthma", "Arthritis",
+		"Migraine", "Anemia", "Bronchitis", "Cataract", "Eczema",
+	}
+	specializations = []string{
+		"Ophthalmology", "Endocrinology", "Cardiology", "Pulmonology",
+		"Rheumatology", "Neurology", "General",
+	}
+	drugNames = []string{
+		"Timolol", "Metformin", "Lisinopril", "Albuterol", "Ibuprofen",
+		"Sumatriptan", "Ferrous sulfate", "Amoxicillin", "Latanoprost",
+		"Hydrocortisone",
+	}
+	firstNames = []string{
+		"Ada", "Ben", "Cleo", "Dev", "Eve", "Flo", "Gus", "Hal", "Ivy",
+		"Jun", "Kai", "Lea", "Max", "Nia", "Oz", "Pia", "Quinn", "Rex",
+		"Sol", "Tia",
+	}
+	lastNames = []string{
+		"Adams", "Brown", "Chen", "Diaz", "Evans", "Fox", "Gupta",
+		"Hahn", "Ito", "Jones", "Khan", "Lee", "Mori", "Nunez", "Okafor",
+		"Patel", "Qi", "Rao", "Silva", "Tran",
+	}
+)
+
+// GenerateMedical produces a deterministic synthetic instance of the
+// medical schema: relations keyed by name. Diagnoses reference valid
+// patients, physicians, and prescriptions, so the paper's example join
+// query has non-empty answers.
+func GenerateMedical(cfg MedicalConfig) (map[string]*Relation, error) {
+	schema := MedicalSchema()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	name := func() string {
+		return firstNames[rng.Intn(len(firstNames))] + " " + lastNames[rng.Intn(len(lastNames))]
+	}
+
+	rels := make(map[string]*Relation)
+	for _, rn := range schema.Relations() {
+		rs, _ := schema.Relation(rn)
+		rels[rn] = NewRelation(rs)
+	}
+
+	for i := 0; i < cfg.Patients; i++ {
+		err := rels["Patient"].Insert(Tuple{
+			IntVal(int64(i + 1)),
+			StrVal(name()),
+			IntVal(int64(1 + rng.Intn(99))), // ages 1..99
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	for i := 0; i < cfg.Physicians; i++ {
+		err := rels["Physician"].Insert(Tuple{
+			IntVal(int64(i + 1)),
+			StrVal("Dr. " + name()),
+			IntVal(int64(28 + rng.Intn(45))),
+			StrVal(specializations[rng.Intn(len(specializations))]),
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// Dates span 1998-01-01 .. 2003-12-31 so the paper's 2000-2002 window
+	// selects an interior partition.
+	dateLo := DayNumber(1998, time.January, 1)
+	dateHi := DayNumber(2003, time.December, 31)
+	for i := 0; i < cfg.Diagnoses; i++ {
+		presID := int64(i + 1)
+		drug := drugNames[rng.Intn(len(drugNames))]
+		day := dateLo + rng.Int63n(dateHi-dateLo+1)
+		err := rels["Prescription"].Insert(Tuple{
+			IntVal(presID),
+			{Kind: TDate, Int: day},
+			StrVal(drug),
+			StrVal(fmt.Sprintf("take %d/day", 1+rng.Intn(3))),
+		})
+		if err != nil {
+			return nil, err
+		}
+		err = rels["Diagnosis"].Insert(Tuple{
+			IntVal(int64(1 + rng.Intn(cfg.Patients))),
+			StrVal(diagnosisNames[rng.Intn(len(diagnosisNames))]),
+			IntVal(int64(1 + rng.Intn(cfg.Physicians))),
+			IntVal(presID),
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	return rels, nil
+}

@@ -1,0 +1,104 @@
+package sim
+
+import (
+	"fmt"
+
+	"p2prange/internal/chord"
+	"p2prange/internal/peer"
+)
+
+// Churn operations: clusters built by NewCluster can grow, shrink, and
+// suffer crashes mid-run, exercising the live join/stabilize/handoff
+// protocol inside the simulation (the paper's evaluation uses static
+// rings; these operations back the failure-injection tests).
+
+// Join adds one new peer to the running cluster through the real join
+// protocol (bootstrap via an existing peer, then synchronous
+// stabilization rounds across the cluster) and reclaims the arc it now
+// owns.
+func (c *Cluster) Join() (*peer.Peer, error) {
+	if len(c.Peers) == 0 {
+		return nil, fmt.Errorf("sim: cannot join an empty cluster")
+	}
+	ids := make(map[chord.ID]bool, len(c.Peers))
+	for _, p := range c.Peers {
+		ids[p.Node().ID()] = true
+	}
+	var joiner *peer.Peer
+	for attempt := 0; ; attempt++ {
+		addr := fmt.Sprintf("join-%d-%d", len(c.Peers), attempt)
+		p, err := peer.New(addr, c.Net, c.cfg.Peer)
+		if err != nil {
+			return nil, err
+		}
+		if !ids[p.Node().ID()] {
+			joiner = p
+			break
+		}
+	}
+	c.Net.Register(joiner.Addr(), joiner.Handle)
+	if err := joiner.Node().Join(c.Peers[0].Addr()); err != nil {
+		c.Net.Unregister(joiner.Addr())
+		return nil, err
+	}
+	c.Peers = append(c.Peers, joiner)
+	c.Stabilize(4)
+	if err := joiner.ReclaimArc(); err != nil {
+		return nil, err
+	}
+	return joiner, nil
+}
+
+// Leave removes peer i gracefully: buckets hand off to the successor,
+// neighbors re-link, and the address unregisters.
+func (c *Cluster) Leave(i int) error {
+	if i < 0 || i >= len(c.Peers) {
+		return fmt.Errorf("sim: no peer %d", i)
+	}
+	p := c.Peers[i]
+	succ := p.Node().Successor()
+	if succ.ID != p.Node().ID() {
+		if err := p.HandoffTo(succ); err != nil {
+			return err
+		}
+	}
+	if err := p.Node().Leave(); err != nil {
+		return err
+	}
+	c.Net.Unregister(p.Addr())
+	c.Peers = append(c.Peers[:i], c.Peers[i+1:]...)
+	c.Stabilize(4)
+	return nil
+}
+
+// Crash fails peer i abruptly: no handoff, no notification; its
+// descriptors are lost and the ring must repair via successor lists.
+func (c *Cluster) Crash(i int) error {
+	if i < 0 || i >= len(c.Peers) {
+		return fmt.Errorf("sim: no peer %d", i)
+	}
+	c.Net.Unregister(c.Peers[i].Addr())
+	c.Peers = append(c.Peers[:i], c.Peers[i+1:]...)
+	c.Stabilize(6)
+	return nil
+}
+
+// Stabilize drives the full maintenance cycle (stabilize, predecessor
+// checks, all fingers) for the given rounds across every peer.
+func (c *Cluster) Stabilize(rounds int) {
+	nodes := make([]*chord.Node, len(c.Peers))
+	for i, p := range c.Peers {
+		nodes[i] = p.Node()
+	}
+	chord.StabilizeAll(nodes, rounds)
+}
+
+// VerifyRing checks ring consistency across the current peers.
+func (c *Cluster) VerifyRing() error {
+	nodes := make([]*chord.Node, len(c.Peers))
+	for i, p := range c.Peers {
+		nodes[i] = p.Node()
+	}
+	_, err := chord.VerifyRing(nodes)
+	return err
+}

@@ -1,0 +1,51 @@
+package sim
+
+import "sync"
+
+// AdaptivePadder implements the paper's "dynamically adjusting padding"
+// future-work idea as an AIMD controller: each incompletely answered
+// query nudges the padding fraction up (more padding matches broader
+// partitions, which contain more of the answer), and each completely
+// answered query decays it (padding has a recall cost on the queries it
+// misleads, Fig. 10). Safe for concurrent use.
+type AdaptivePadder struct {
+	mu  sync.Mutex
+	pad float64
+	max float64
+}
+
+// AIMD constants: additive increase per incomplete answer, multiplicative
+// decay per complete one.
+const (
+	padIncrease = 0.02
+	padDecay    = 0.95
+)
+
+// NewAdaptivePadder returns a padder bounded by maxPad (e.g. 0.30).
+func NewAdaptivePadder(maxPad float64) *AdaptivePadder {
+	if maxPad <= 0 {
+		maxPad = 0.30
+	}
+	return &AdaptivePadder{max: maxPad}
+}
+
+// Pad returns the current padding fraction.
+func (a *AdaptivePadder) Pad() float64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.pad
+}
+
+// Observe feeds back one query's recall.
+func (a *AdaptivePadder) Observe(recall float64) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if recall >= 1 {
+		a.pad *= padDecay
+		return
+	}
+	a.pad += padIncrease
+	if a.pad > a.max {
+		a.pad = a.max
+	}
+}

@@ -1,0 +1,138 @@
+// Package sim builds in-memory clusters of peers and drives the paper's
+// two kinds of experiments: match-quality runs (Figs. 6-10: feed the
+// 10,000-query workload through the Section 4 protocol and record
+// similarity and recall) and scalability runs (Figs. 11-12: store tens of
+// thousands of partitions across rings of 100-5000 peers and record load
+// distribution and lookup path lengths).
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"p2prange/internal/chord"
+	"p2prange/internal/minhash"
+	"p2prange/internal/peer"
+	"p2prange/internal/store"
+	"p2prange/internal/transport"
+)
+
+// ClusterConfig parameterizes a simulated cluster.
+type ClusterConfig struct {
+	// N is the number of peers.
+	N int
+	// Peer is applied to every peer; Peer.Scheme is required.
+	Peer peer.Config
+}
+
+// Cluster is an in-memory system of N peers on a converged chord ring.
+type Cluster struct {
+	Net   *transport.Memory
+	Peers []*peer.Peer
+	cfg   ClusterConfig
+}
+
+// NewCluster builds a converged cluster. Peer addresses are synthetic
+// ("10.s.h.p:4000"); in the vanishingly-rare event of a 32-bit chord ID
+// collision the address is perturbed until IDs are unique.
+func NewCluster(cfg ClusterConfig) (*Cluster, error) {
+	if cfg.N <= 0 {
+		return nil, fmt.Errorf("sim: cluster size must be positive, got %d", cfg.N)
+	}
+	if cfg.Peer.Scheme == nil {
+		return nil, fmt.Errorf("sim: ClusterConfig.Peer.Scheme is required")
+	}
+	c := &Cluster{Net: transport.NewMemory(), cfg: cfg}
+	seen := make(map[chord.ID]bool, cfg.N)
+	for i := 0; i < cfg.N; i++ {
+		var p *peer.Peer
+		var err error
+		for attempt := 0; ; attempt++ {
+			addr := fmt.Sprintf("10.%d.%d.%d:%d", i>>16&0xff, i>>8&0xff, i&0xff, 4000+attempt)
+			p, err = peer.New(addr, c.Net, cfg.Peer)
+			if err != nil {
+				return nil, err
+			}
+			if !seen[p.Node().ID()] {
+				break
+			}
+		}
+		seen[p.Node().ID()] = true
+		c.Net.Register(p.Addr(), p.Handle)
+		c.Peers = append(c.Peers, p)
+	}
+	nodes := make([]*chord.Node, len(c.Peers))
+	for i, p := range c.Peers {
+		nodes[i] = p.Node()
+	}
+	if err := chord.BuildStableRing(nodes); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// N returns the cluster size.
+func (c *Cluster) N() int { return len(c.Peers) }
+
+// RandomPeer picks a uniformly random peer.
+func (c *Cluster) RandomPeer(rng *rand.Rand) *peer.Peer {
+	return c.Peers[rng.Intn(len(c.Peers))]
+}
+
+// Loads returns the number of stored partition descriptors per peer — the
+// per-node load of Fig. 11.
+func (c *Cluster) Loads() []int {
+	out := make([]int, len(c.Peers))
+	for i, p := range c.Peers {
+		out[i] = p.Store().Len()
+	}
+	return out
+}
+
+// TotalStored sums stored descriptors across peers.
+func (c *Cluster) TotalStored() int {
+	t := 0
+	for _, l := range c.Loads() {
+		t += l
+	}
+	return t
+}
+
+// StoreByID routes identifier id from peer origin and stores part at the
+// owner, returning the chord path length. Scalability runs use it with
+// precomputed identifiers so hashing cost is paid once per partition, not
+// once per ring size.
+func (c *Cluster) StoreByID(origin *peer.Peer, id uint32, part store.Partition) (int, error) {
+	owner, hops, err := origin.Node().Lookup(id)
+	if err != nil {
+		return hops, err
+	}
+	if _, err := c.call(origin, owner, peer.StoreReq{ID: id, Partition: part}); err != nil {
+		return hops, err
+	}
+	return hops, nil
+}
+
+// RouteOnly resolves the owner of id from origin, returning the path
+// length without any storage side effect (Fig. 12's find operations).
+func (c *Cluster) RouteOnly(origin *peer.Peer, id uint32) (int, error) {
+	_, hops, err := origin.Node().Lookup(id)
+	return hops, err
+}
+
+func (c *Cluster) call(origin *peer.Peer, to chord.Ref, req any) (any, error) {
+	if to.ID == origin.Node().ID() {
+		return origin.Handle(req)
+	}
+	return c.Net.Call(to.Addr, req)
+}
+
+// Scheme is a convenience for building the paper's default scheme with a
+// deterministic seed, compiled for bulk hashing.
+func Scheme(f minhash.Family, seed int64) (*minhash.Scheme, error) {
+	s, err := minhash.NewDefaultScheme(f, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		return nil, err
+	}
+	return s.Compiled(), nil
+}

@@ -1,0 +1,220 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+
+	"p2prange/internal/minhash"
+	"p2prange/internal/peer"
+	"p2prange/internal/rangeset"
+	"p2prange/internal/store"
+	"p2prange/internal/workload"
+)
+
+func testScheme(t testing.TB) *minhash.Scheme {
+	t.Helper()
+	s, err := Scheme(minhash.ApproxMinWise, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestNewClusterValidation(t *testing.T) {
+	if _, err := NewCluster(ClusterConfig{N: 0, Peer: peer.Config{}}); err == nil {
+		t.Error("N=0 accepted")
+	}
+	if _, err := NewCluster(ClusterConfig{N: 5}); err == nil {
+		t.Error("missing scheme accepted")
+	}
+}
+
+func TestClusterUniqueIDs(t *testing.T) {
+	c, err := NewCluster(ClusterConfig{N: 200, Peer: peer.Config{Scheme: testScheme(t)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[uint32]bool{}
+	for _, p := range c.Peers {
+		if seen[p.Node().ID()] {
+			t.Fatal("duplicate chord ID in cluster")
+		}
+		seen[p.Node().ID()] = true
+	}
+	if c.N() != 200 {
+		t.Errorf("N = %d", c.N())
+	}
+}
+
+func TestStoreByIDPlacesAtOwner(t *testing.T) {
+	c, err := NewCluster(ClusterConfig{N: 32, Peer: peer.Config{Scheme: testScheme(t)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	id := uint32(0xdeadbeef)
+	part := store.Partition{Relation: "R", Attribute: "a", Range: rangeset.Range{Lo: 1, Hi: 2}}
+	hops, err := c.StoreByID(c.RandomPeer(rng), id, part)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hops < 0 {
+		t.Errorf("hops = %d", hops)
+	}
+	// Exactly the owner peer holds it.
+	holders := 0
+	for _, p := range c.Peers {
+		if p.Store().Len() > 0 {
+			holders++
+			if !p.Node().Owns(id) {
+				t.Error("descriptor stored at a non-owner")
+			}
+		}
+	}
+	if holders != 1 {
+		t.Errorf("%d holders, want 1", holders)
+	}
+	if c.TotalStored() != 1 {
+		t.Errorf("TotalStored = %d", c.TotalStored())
+	}
+}
+
+func TestRunQualityBasics(t *testing.T) {
+	c, err := NewCluster(ClusterConfig{N: 12, Peer: peer.Config{Scheme: testScheme(t)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunQuality(c, QualityConfig{Queries: 500, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Measured != 400 { // 20% warm-up of 500
+		t.Errorf("Measured = %d, want 400", res.Measured)
+	}
+	if res.Similarity.N() != res.Measured || res.Recall.N() != res.Measured {
+		t.Error("metric counts disagree with Measured")
+	}
+	if res.Matched == 0 {
+		t.Error("nothing matched after warm-up; caching must be broken")
+	}
+	if res.Matched > res.Measured {
+		t.Error("matched exceeds measured")
+	}
+	// Stored descriptors: every non-exact query cached at L identifiers.
+	if c.TotalStored() == 0 {
+		t.Error("no descriptors cached")
+	}
+}
+
+func TestRunQualityDeterministic(t *testing.T) {
+	run := func() *QualityResult {
+		c, err := NewCluster(ClusterConfig{N: 8, Peer: peer.Config{Scheme: testScheme(t)}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := RunQuality(c, QualityConfig{Queries: 300, Seed: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a.Matched != b.Matched || a.Exact != b.Exact {
+		t.Errorf("runs diverged: %d/%d vs %d/%d", a.Matched, a.Exact, b.Matched, b.Exact)
+	}
+}
+
+func TestRunQualityPaddingImprovesFullRecall(t *testing.T) {
+	run := func(pad float64) *QualityResult {
+		scheme, err := Scheme(minhash.ApproxMinWise, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := NewCluster(ClusterConfig{
+			N:    16,
+			Peer: peer.Config{Scheme: scheme, Measure: store.MatchContainment},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := RunQuality(c, QualityConfig{Queries: 2000, Seed: 5, PadFrac: pad})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	padded, plain := run(0.2), run(0)
+	if padded.Recall.AtLeast(0.9999) <= plain.Recall.AtLeast(0.9999) {
+		t.Errorf("padding did not raise fully-answered: %.1f%% vs %.1f%% (Fig. 10 shape)",
+			padded.Recall.AtLeast(0.9999), plain.Recall.AtLeast(0.9999))
+	}
+}
+
+func TestScaleWorkload(t *testing.T) {
+	w := NewScaleWorkload(testScheme(t), 500, 6)
+	if len(w.Ranges) != 500 || len(w.IDs) != 500 {
+		t.Fatalf("workload sizes: %d ranges, %d id sets", len(w.Ranges), len(w.IDs))
+	}
+	if w.Stored() != 500*minhash.DefaultL {
+		t.Errorf("Stored = %d", w.Stored())
+	}
+	seen := map[rangeset.Range]bool{}
+	for _, q := range w.Ranges {
+		if seen[q] {
+			t.Fatal("duplicate range in unique workload")
+		}
+		seen[q] = true
+	}
+	tr := w.Truncate(100)
+	if len(tr.Ranges) != 100 {
+		t.Errorf("Truncate(100) kept %d", len(tr.Ranges))
+	}
+	if got := w.Truncate(10_000); len(got.Ranges) != 500 {
+		t.Errorf("over-truncate kept %d", len(got.Ranges))
+	}
+}
+
+func TestRunScale(t *testing.T) {
+	scheme := testScheme(t)
+	w := NewScaleWorkload(scheme, 300, 7)
+	res, err := RunScale(ClusterConfig{N: 40, Peer: peer.Config{Scheme: scheme}}, w, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.N != 40 {
+		t.Errorf("N = %d", res.N)
+	}
+	// Some stores may deduplicate (same id+range collisions are rare but
+	// possible), so Stored is close to but at most the workload total.
+	if res.Stored == 0 || res.Stored > w.Stored() {
+		t.Errorf("Stored = %d, workload = %d", res.Stored, w.Stored())
+	}
+	if res.Load.Mean <= 0 || res.Load.P99 < res.Load.Mean {
+		t.Errorf("load summary %+v", res.Load)
+	}
+	if res.PathLength.N() != 300*minhash.DefaultL {
+		t.Errorf("path samples = %d", res.PathLength.N())
+	}
+	// Mean path length should be around ½ log2(40) ≈ 2.7; generous band.
+	if m := res.PathLength.Mean(); m < 1 || m > 6 {
+		t.Errorf("mean path length = %g", m)
+	}
+}
+
+func TestRunQualityCustomWorkload(t *testing.T) {
+	c, err := NewCluster(ClusterConfig{N: 8, Peer: peer.Config{Scheme: testScheme(t)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunQuality(c, QualityConfig{
+		Queries:  200,
+		Seed:     9,
+		Workload: workload.NewClustered(0, 1000, 3, 20, 200, 9),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Measured == 0 {
+		t.Error("no measurements")
+	}
+}

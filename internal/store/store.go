@@ -1,0 +1,292 @@
+// Package store implements the per-peer partition store: hash buckets
+// keyed by 32-bit identifiers, each holding descriptors of cached data
+// partitions. A lookup locates the bucket for an identifier and picks the
+// best-matching partition under a similarity measure (Jaccard or
+// containment, paper Sec. 5.2). The store also offers the Section 5.3
+// extension: a peer-wide index across all buckets a peer owns.
+package store
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"p2prange/internal/rangeset"
+)
+
+// ID is a bucket identifier in the 32-bit identifier space.
+type ID = uint32
+
+// Partition describes one cached horizontal partition: the tuples of
+// Relation selected by Range over Attribute, materialized at the peer
+// with transport address Holder. The descriptor is what travels through
+// the DHT; tuple data is fetched from the holder afterwards.
+type Partition struct {
+	Relation  string
+	Attribute string
+	Range     rangeset.Range
+	Holder    string
+}
+
+// Key is the identity of a partition for deduplication.
+func (p Partition) Key() string {
+	return fmt.Sprintf("%s.%s%s", p.Relation, p.Attribute, p.Range)
+}
+
+// String formats the partition descriptor.
+func (p Partition) String() string {
+	return fmt.Sprintf("%s.%s%s@%s", p.Relation, p.Attribute, p.Range, p.Holder)
+}
+
+// Measure selects the bucket-level similarity used to pick the best match.
+type Measure int
+
+const (
+	// MatchJaccard scores candidates by Jaccard set similarity, the
+	// measure the hash family is built on.
+	MatchJaccard Measure = iota
+	// MatchContainment scores candidates by |Q ∩ R| / |Q|: how much of the
+	// query the candidate answers. Not a metric, but the more useful match
+	// measure once the bucket is located (Fig. 9).
+	MatchContainment
+)
+
+// String names the measure as in the paper's figures.
+func (m Measure) String() string {
+	switch m {
+	case MatchJaccard:
+		return "Jaccard"
+	case MatchContainment:
+		return "Containment"
+	default:
+		return fmt.Sprintf("Measure(%d)", int(m))
+	}
+}
+
+// Score computes the measure for query q against candidate r.
+func (m Measure) Score(q, r rangeset.Range) float64 {
+	switch m {
+	case MatchContainment:
+		return q.Containment(r)
+	default:
+		return q.Jaccard(r)
+	}
+}
+
+// Match is a scored candidate returned by a bucket search.
+type Match struct {
+	Partition Partition
+	Score     float64
+}
+
+// Store holds the buckets owned by one peer. Safe for concurrent use.
+// With a positive capacity, the store evicts its least-recently-matched
+// descriptor to admit a new one (the paper assumes unbounded caches; the
+// capacity ablation measures what bounding them costs).
+type Store struct {
+	mu      sync.RWMutex
+	buckets map[ID][]Partition
+	count   int // total stored descriptors across buckets
+	cap     int // 0 = unbounded
+	clock   uint64
+	touched map[string]uint64 // bucket-qualified key -> last match tick
+}
+
+// New returns an empty, unbounded store.
+func New() *Store {
+	return &Store{
+		buckets: make(map[ID][]Partition),
+		touched: make(map[string]uint64),
+	}
+}
+
+// NewBounded returns a store that holds at most capacity descriptors,
+// evicting the least-recently-matched one on overflow.
+func NewBounded(capacity int) *Store {
+	s := New()
+	s.cap = capacity
+	return s
+}
+
+// entryKey identifies one descriptor within one bucket for LRU tracking.
+func entryKey(id ID, p Partition) string {
+	return fmt.Sprintf("%08x/%s", id, p.Key())
+}
+
+// Put stores the partition descriptor in bucket id. Exact duplicates
+// (same relation, attribute, and range) are ignored; the first holder
+// wins, as in the paper's protocol where only missing partitions are
+// cached. It reports whether the descriptor was newly stored. A bounded
+// store at capacity evicts its least-recently-matched descriptor first.
+func (s *Store) Put(id ID, p Partition) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, q := range s.buckets[id] {
+		if q.Relation == p.Relation && q.Attribute == p.Attribute && q.Range == p.Range {
+			return false
+		}
+	}
+	if s.cap > 0 && s.count >= s.cap {
+		s.evictLocked()
+	}
+	s.buckets[id] = append(s.buckets[id], p)
+	s.clock++
+	s.touched[entryKey(id, p)] = s.clock
+	s.count++
+	return true
+}
+
+// evictLocked removes the least-recently-matched descriptor. Caller holds
+// the write lock.
+func (s *Store) evictLocked() {
+	var victimID ID
+	victimIdx := -1
+	var oldest uint64 = ^uint64(0)
+	for id, bucket := range s.buckets {
+		for i, p := range bucket {
+			if tick := s.touched[entryKey(id, p)]; tick < oldest {
+				oldest = tick
+				victimID, victimIdx = id, i
+			}
+		}
+	}
+	if victimIdx < 0 {
+		return
+	}
+	bucket := s.buckets[victimID]
+	delete(s.touched, entryKey(victimID, bucket[victimIdx]))
+	bucket = append(bucket[:victimIdx], bucket[victimIdx+1:]...)
+	if len(bucket) == 0 {
+		delete(s.buckets, victimID)
+	} else {
+		s.buckets[victimID] = bucket
+	}
+	s.count--
+}
+
+// FindBest scans bucket id for the best match for query q on relation and
+// attribute under measure. ok is true only when some candidate scores
+// above zero; a zero-score best candidate is still returned (with
+// ok=false) so callers can tell an empty bucket from a dissimilar one.
+// On bounded stores a positive match refreshes the entry's LRU position.
+func (s *Store) FindBest(id ID, relation, attribute string, q rangeset.Range, measure Measure) (Match, bool) {
+	if s.cap == 0 {
+		s.mu.RLock()
+		defer s.mu.RUnlock()
+		return bestOf(s.buckets[id], relation, attribute, q, measure)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m, ok := bestOf(s.buckets[id], relation, attribute, q, measure)
+	if ok {
+		s.clock++
+		s.touched[entryKey(id, m.Partition)] = s.clock
+	}
+	return m, ok
+}
+
+// FindBestAnywhere searches every bucket the peer owns (the Section 5.3
+// peer-wide index). With few peers this sees most of the system's
+// partitions; with many peers it degenerates to single-bucket search.
+func (s *Store) FindBestAnywhere(relation, attribute string, q rangeset.Range, measure Measure) (Match, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var best Match
+	found := false
+	for _, bucket := range s.buckets {
+		if m, ok := bestOf(bucket, relation, attribute, q, measure); ok && (!found || m.Score > best.Score) {
+			best, found = m, true
+		}
+	}
+	return best, found
+}
+
+func bestOf(bucket []Partition, relation, attribute string, q rangeset.Range, measure Measure) (Match, bool) {
+	var best Match
+	found := false
+	for _, p := range bucket {
+		if p.Relation != relation || p.Attribute != attribute {
+			continue
+		}
+		score := measure.Score(q, p.Range)
+		if !found || score > best.Score {
+			best = Match{Partition: p, Score: score}
+			found = true
+		}
+	}
+	return best, found && best.Score > 0
+}
+
+// Bucket returns a copy of the descriptors in bucket id.
+func (s *Store) Bucket(id ID) []Partition {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return append([]Partition(nil), s.buckets[id]...)
+}
+
+// Len returns the total number of stored descriptors (the per-node load
+// the paper plots in Fig. 11).
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.count
+}
+
+// Buckets returns the number of non-empty buckets.
+func (s *Store) Buckets() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.buckets)
+}
+
+// IDs returns the bucket identifiers in ascending order.
+func (s *Store) IDs() []ID {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	ids := make([]ID, 0, len(s.buckets))
+	for id := range s.buckets {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// ExtractArc removes and returns all buckets whose identifier lies on the
+// arc (from, to] of the ring. It implements data handoff when ring
+// ownership changes (a predecessor joins or this peer leaves).
+func (s *Store) ExtractArc(from, to ID) map[ID][]Partition {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[ID][]Partition)
+	for id, bucket := range s.buckets {
+		if betweenRightIncl(from, to, id) {
+			out[id] = bucket
+			s.count -= len(bucket)
+			delete(s.buckets, id)
+			for _, p := range bucket {
+				delete(s.touched, entryKey(id, p))
+			}
+		}
+	}
+	return out
+}
+
+// Absorb merges buckets produced by ExtractArc into this store.
+func (s *Store) Absorb(buckets map[ID][]Partition) {
+	for id, bucket := range buckets {
+		for _, p := range bucket {
+			s.Put(id, p)
+		}
+	}
+}
+
+// betweenRightIncl mirrors chord.BetweenRightIncl without importing chord.
+func betweenRightIncl(a, b, x ID) bool {
+	if x == b {
+		return true
+	}
+	if a < b {
+		return a < x && x < b
+	}
+	return x > a || x < b
+}

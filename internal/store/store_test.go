@@ -1,0 +1,339 @@
+package store
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"p2prange/internal/rangeset"
+)
+
+func part(lo, hi int64) Partition {
+	return Partition{Relation: "R", Attribute: "a", Range: rangeset.Range{Lo: lo, Hi: hi}, Holder: "h"}
+}
+
+func TestPutDeduplicates(t *testing.T) {
+	s := New()
+	if !s.Put(1, part(0, 10)) {
+		t.Error("first Put should store")
+	}
+	if s.Put(1, part(0, 10)) {
+		t.Error("duplicate Put should be ignored")
+	}
+	if s.Len() != 1 {
+		t.Errorf("Len = %d, want 1", s.Len())
+	}
+	// Same range in a different bucket is a separate descriptor.
+	if !s.Put(2, part(0, 10)) {
+		t.Error("same partition in another bucket should store")
+	}
+	if s.Len() != 2 || s.Buckets() != 2 {
+		t.Errorf("Len=%d Buckets=%d, want 2, 2", s.Len(), s.Buckets())
+	}
+}
+
+func TestPutFirstHolderWins(t *testing.T) {
+	s := New()
+	p1 := part(0, 10)
+	p2 := p1
+	p2.Holder = "other"
+	s.Put(1, p1)
+	s.Put(1, p2)
+	bucket := s.Bucket(1)
+	if len(bucket) != 1 || bucket[0].Holder != "h" {
+		t.Errorf("bucket = %v, want single entry held by %q", bucket, "h")
+	}
+}
+
+func TestFindBest(t *testing.T) {
+	s := New()
+	s.Put(1, part(0, 100))
+	s.Put(1, part(40, 60))
+	s.Put(1, part(500, 600))
+
+	q := rangeset.Range{Lo: 45, Hi: 55}
+	m, ok := s.FindBest(1, "R", "a", q, MatchJaccard)
+	if !ok {
+		t.Fatal("expected a match")
+	}
+	if m.Partition.Range != (rangeset.Range{Lo: 40, Hi: 60}) {
+		t.Errorf("best Jaccard match = %v", m.Partition.Range)
+	}
+	if want := q.Jaccard(m.Partition.Range); m.Score != want {
+		t.Errorf("score = %g, want %g", m.Score, want)
+	}
+	// Containment prefers any containing range equally (score 1); the
+	// scan keeps the first maximal one.
+	m, ok = s.FindBest(1, "R", "a", q, MatchContainment)
+	if !ok || m.Score != 1 {
+		t.Fatalf("containment match = %+v, %v", m, ok)
+	}
+}
+
+func TestFindBestFiltersRelationAndAttribute(t *testing.T) {
+	s := New()
+	s.Put(1, Partition{Relation: "S", Attribute: "a", Range: rangeset.Range{Lo: 0, Hi: 10}})
+	s.Put(1, Partition{Relation: "R", Attribute: "b", Range: rangeset.Range{Lo: 0, Hi: 10}})
+	if _, ok := s.FindBest(1, "R", "a", rangeset.Range{Lo: 0, Hi: 10}, MatchJaccard); ok {
+		t.Error("match crossed relation/attribute boundaries")
+	}
+}
+
+func TestFindBestEmptyAndDisjoint(t *testing.T) {
+	s := New()
+	if _, ok := s.FindBest(9, "R", "a", rangeset.Range{Lo: 0, Hi: 1}, MatchJaccard); ok {
+		t.Error("empty bucket should not match")
+	}
+	s.Put(9, part(500, 600))
+	m, ok := s.FindBest(9, "R", "a", rangeset.Range{Lo: 0, Hi: 1}, MatchJaccard)
+	if ok {
+		t.Error("disjoint candidate should report ok=false")
+	}
+	if m.Partition.Range != (rangeset.Range{Lo: 500, Hi: 600}) {
+		t.Error("zero-score best candidate should still be populated")
+	}
+}
+
+func TestFindBestAnywhere(t *testing.T) {
+	s := New()
+	s.Put(1, part(0, 10))
+	s.Put(2, part(40, 60))
+	q := rangeset.Range{Lo: 45, Hi: 55}
+	// Bucket 1 has only the poor candidate...
+	if m, ok := s.FindBest(1, "R", "a", q, MatchJaccard); ok {
+		t.Errorf("bucket 1 should have no positive match, got %+v", m)
+	}
+	// ...but the peer-wide index (Sec 5.3) sees bucket 2.
+	m, ok := s.FindBestAnywhere("R", "a", q, MatchJaccard)
+	if !ok || m.Partition.Range != (rangeset.Range{Lo: 40, Hi: 60}) {
+		t.Errorf("FindBestAnywhere = %+v, %v", m, ok)
+	}
+}
+
+func TestMeasureScore(t *testing.T) {
+	q := rangeset.Range{Lo: 0, Hi: 9}
+	r := rangeset.Range{Lo: 0, Hi: 19}
+	if got := MatchJaccard.Score(q, r); got != 0.5 {
+		t.Errorf("Jaccard score = %g, want 0.5", got)
+	}
+	if got := MatchContainment.Score(q, r); got != 1 {
+		t.Errorf("containment score = %g, want 1", got)
+	}
+	if MatchJaccard.String() != "Jaccard" || MatchContainment.String() != "Containment" {
+		t.Error("Measure.String mismatch")
+	}
+}
+
+func TestExtractArcAndAbsorb(t *testing.T) {
+	s := New()
+	s.Put(10, part(0, 10))
+	s.Put(20, part(20, 30))
+	s.Put(30, part(40, 50))
+
+	// Arc (15, 25] captures bucket 20 only.
+	moved := s.ExtractArc(15, 25)
+	if len(moved) != 1 || len(moved[20]) != 1 {
+		t.Fatalf("ExtractArc moved %v", moved)
+	}
+	if s.Len() != 2 {
+		t.Errorf("source Len = %d after extract, want 2", s.Len())
+	}
+	dst := New()
+	dst.Absorb(moved)
+	if dst.Len() != 1 {
+		t.Errorf("dst Len = %d after absorb, want 1", dst.Len())
+	}
+	// Whole-circle extraction drains everything.
+	all := s.ExtractArc(5, 5)
+	if len(all) != 2 || s.Len() != 0 {
+		t.Errorf("whole-circle extract left Len=%d, moved %d buckets", s.Len(), len(all))
+	}
+}
+
+func TestExtractArcWrapped(t *testing.T) {
+	s := New()
+	s.Put(0xfffffff0, part(0, 1))
+	s.Put(0x00000010, part(2, 3))
+	s.Put(0x80000000, part(4, 5))
+	moved := s.ExtractArc(0xffffff00, 0x20) // wrapped arc
+	if len(moved) != 2 {
+		t.Fatalf("wrapped arc moved %d buckets, want 2", len(moved))
+	}
+}
+
+func TestIDsSorted(t *testing.T) {
+	s := New()
+	for _, id := range []ID{5, 1, 9, 3} {
+		s.Put(id, part(int64(id), int64(id)+1))
+	}
+	ids := s.IDs()
+	for i := 1; i < len(ids); i++ {
+		if ids[i-1] >= ids[i] {
+			t.Fatalf("IDs not sorted: %v", ids)
+		}
+	}
+}
+
+func TestPartitionKeyAndString(t *testing.T) {
+	p := part(0, 10)
+	q := part(0, 11)
+	if p.Key() == q.Key() {
+		t.Error("distinct partitions share a key")
+	}
+	if p.String() == "" || p.Key() == "" {
+		t.Error("empty formatting")
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	s := New()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			for i := 0; i < 500; i++ {
+				lo := rng.Int63n(1000)
+				s.Put(uint32(rng.Intn(50)), part(lo, lo+rng.Int63n(100)))
+				s.FindBest(uint32(rng.Intn(50)), "R", "a", rangeset.Range{Lo: lo, Hi: lo + 10}, MatchJaccard)
+				s.FindBestAnywhere("R", "a", rangeset.Range{Lo: lo, Hi: lo + 10}, MatchContainment)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if s.Len() == 0 {
+		t.Error("nothing stored")
+	}
+}
+
+// Property: FindBest returns the maximal score in the bucket.
+func TestFindBestIsMaximal(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		s := New()
+		n := 1 + rng.Intn(20)
+		var parts []Partition
+		for i := 0; i < n; i++ {
+			lo := rng.Int63n(1000)
+			p := part(lo, lo+rng.Int63n(200))
+			if s.Put(3, p) {
+				parts = append(parts, p)
+			}
+		}
+		qlo := rng.Int63n(1000)
+		q := rangeset.Range{Lo: qlo, Hi: qlo + rng.Int63n(200)}
+		for _, measure := range []Measure{MatchJaccard, MatchContainment} {
+			m, ok := s.FindBest(3, "R", "a", q, measure)
+			best := 0.0
+			for _, p := range parts {
+				if sc := measure.Score(q, p.Range); sc > best {
+					best = sc
+				}
+			}
+			if ok != (best > 0) {
+				t.Fatalf("ok=%v but best=%g", ok, best)
+			}
+			if ok && m.Score != best {
+				t.Fatalf("FindBest score %g, brute force %g", m.Score, best)
+			}
+		}
+	}
+}
+
+// Property: ExtractArc + Absorb conserves descriptors, and the extracted
+// set is exactly the bucket ids on the arc.
+func TestExtractAbsorbConservation(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 200; trial++ {
+		s := New()
+		n := 1 + rng.Intn(40)
+		for i := 0; i < n; i++ {
+			lo := rng.Int63n(1000)
+			s.Put(rng.Uint32(), part(lo, lo+rng.Int63n(50)))
+		}
+		total := s.Len()
+		from, to := rng.Uint32(), rng.Uint32()
+		moved := s.ExtractArc(from, to)
+		movedCount := 0
+		for id, bucket := range moved {
+			if !betweenRightIncl(from, to, id) {
+				t.Fatalf("extracted id %08x outside arc (%08x,%08x]", id, from, to)
+			}
+			movedCount += len(bucket)
+		}
+		for _, id := range s.IDs() {
+			if betweenRightIncl(from, to, id) && from != to {
+				t.Fatalf("id %08x on arc (%08x,%08x] left behind", id, from, to)
+			}
+		}
+		if s.Len()+movedCount != total {
+			t.Fatalf("conservation violated: %d + %d != %d", s.Len(), movedCount, total)
+		}
+		dst := New()
+		dst.Absorb(moved)
+		if s.Len()+dst.Len() != total {
+			t.Fatalf("absorb lost descriptors: %d + %d != %d", s.Len(), dst.Len(), total)
+		}
+	}
+}
+
+// Property: Put/FindBest never mutate unrelated buckets.
+func TestBucketIsolation(t *testing.T) {
+	s := New()
+	s.Put(1, part(0, 10))
+	snapshot := s.Bucket(1)
+	s.Put(2, part(20, 30))
+	s.FindBest(2, "R", "a", rangeset.Range{Lo: 0, Hi: 5}, MatchJaccard)
+	after := s.Bucket(1)
+	if len(after) != len(snapshot) || after[0] != snapshot[0] {
+		t.Error("bucket 1 changed by operations on bucket 2")
+	}
+}
+
+func TestBoundedStoreEvictsLRU(t *testing.T) {
+	s := NewBounded(3)
+	s.Put(1, part(0, 10))
+	s.Put(2, part(20, 30))
+	s.Put(3, part(40, 50))
+	// Touch buckets 1 and 2 via matches; bucket 3 becomes the LRU victim.
+	s.FindBest(1, "R", "a", rangeset.Range{Lo: 0, Hi: 10}, MatchJaccard)
+	s.FindBest(2, "R", "a", rangeset.Range{Lo: 20, Hi: 30}, MatchJaccard)
+	s.Put(4, part(60, 70)) // overflow: evicts bucket 3's entry
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d, want capacity 3", s.Len())
+	}
+	if len(s.Bucket(3)) != 0 {
+		t.Error("LRU entry (bucket 3) not evicted")
+	}
+	for _, id := range []ID{1, 2, 4} {
+		if len(s.Bucket(id)) != 1 {
+			t.Errorf("bucket %d unexpectedly evicted", id)
+		}
+	}
+}
+
+func TestBoundedStoreNeverExceedsCapacity(t *testing.T) {
+	s := NewBounded(10)
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 500; i++ {
+		lo := rng.Int63n(1000)
+		s.Put(rng.Uint32(), part(lo, lo+rng.Int63n(100)))
+		if s.Len() > 10 {
+			t.Fatalf("Len = %d exceeds capacity after %d puts", s.Len(), i+1)
+		}
+	}
+	if s.Len() != 10 {
+		t.Errorf("Len = %d, want full capacity 10", s.Len())
+	}
+}
+
+func TestUnboundedStoreNeverEvicts(t *testing.T) {
+	s := New()
+	for i := 0; i < 200; i++ {
+		s.Put(ID(i), part(int64(i), int64(i)+1))
+	}
+	if s.Len() != 200 {
+		t.Errorf("unbounded store evicted: Len = %d", s.Len())
+	}
+}

@@ -1,0 +1,221 @@
+package transport
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// RegisterType registers a request or response type for gob transfer.
+// Every concrete type sent through the TCP transport must be registered by
+// both ends (the peer and chord packages register theirs in init).
+func RegisterType(v any) { gob.Register(v) }
+
+// envelope frames one request or response on the wire.
+type envelope struct {
+	Body any
+	Err  string
+}
+
+func init() {
+	gob.Register(envelope{})
+}
+
+// TCPServer serves a Handler on a TCP listener, one goroutine per
+// connection, multiple sequential requests per connection.
+type TCPServer struct {
+	ln      net.Listener
+	handler Handler
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// ServeTCP starts serving h on ln until Close.
+func ServeTCP(ln net.Listener, h Handler) *TCPServer {
+	s := &TCPServer{ln: ln, handler: h, conns: make(map[net.Conn]struct{})}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s
+}
+
+// Addr returns the listener's address.
+func (s *TCPServer) Addr() string { return s.ln.Addr().String() }
+
+func (s *TCPServer) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+func (s *TCPServer) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	dec := gob.NewDecoder(conn)
+	enc := gob.NewEncoder(conn)
+	for {
+		var req envelope
+		if err := dec.Decode(&req); err != nil {
+			return // io.EOF on clean close; anything else drops the conn
+		}
+		resp, err := s.handler(req.Body)
+		out := envelope{Body: resp}
+		if err != nil {
+			out.Err = err.Error()
+		}
+		if err := enc.Encode(out); err != nil {
+			return
+		}
+	}
+}
+
+// Close stops accepting, closes open connections, and waits for handlers.
+func (s *TCPServer) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	err := s.ln.Close()
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	return err
+}
+
+// TCPCaller is the client side of the TCP transport. It keeps one pooled
+// connection per remote address, re-dialing on failure. Safe for
+// concurrent use; concurrent calls to the same address serialize on its
+// connection.
+type TCPCaller struct {
+	// DialTimeout bounds connection establishment (default 3s).
+	DialTimeout time.Duration
+	// CallTimeout bounds a single request/response round trip (default 5s).
+	CallTimeout time.Duration
+
+	mu    sync.Mutex
+	conns map[string]*tcpConn
+}
+
+type tcpConn struct {
+	mu   sync.Mutex
+	conn net.Conn
+	enc  *gob.Encoder
+	dec  *gob.Decoder
+}
+
+// NewTCPCaller returns a caller with default timeouts.
+func NewTCPCaller() *TCPCaller {
+	return &TCPCaller{
+		DialTimeout: 3 * time.Second,
+		CallTimeout: 5 * time.Second,
+		conns:       make(map[string]*tcpConn),
+	}
+}
+
+func (c *TCPCaller) get(addr string) (*tcpConn, error) {
+	c.mu.Lock()
+	tc, ok := c.conns[addr]
+	if !ok {
+		tc = &tcpConn{}
+		c.conns[addr] = tc
+	}
+	c.mu.Unlock()
+
+	tc.mu.Lock() // held until the call completes; released by caller
+	if tc.conn == nil {
+		conn, err := net.DialTimeout("tcp", addr, c.DialTimeout)
+		if err != nil {
+			tc.mu.Unlock()
+			return nil, fmt.Errorf("transport: dial %s: %w", addr, err)
+		}
+		tc.conn = conn
+		tc.enc = gob.NewEncoder(conn)
+		tc.dec = gob.NewDecoder(conn)
+	}
+	return tc, nil
+}
+
+// Call implements Caller over TCP. A transport-level failure invalidates
+// the pooled connection so the next call re-dials.
+func (c *TCPCaller) Call(addr string, req any) (any, error) {
+	tc, err := c.get(addr)
+	if err != nil {
+		return nil, err
+	}
+	defer tc.mu.Unlock()
+	if c.CallTimeout > 0 {
+		if err := tc.conn.SetDeadline(time.Now().Add(c.CallTimeout)); err != nil {
+			tc.reset()
+			return nil, err
+		}
+	}
+	if err := tc.enc.Encode(envelope{Body: req}); err != nil {
+		tc.reset()
+		return nil, fmt.Errorf("transport: send to %s: %w", addr, err)
+	}
+	var resp envelope
+	if err := tc.dec.Decode(&resp); err != nil {
+		tc.reset()
+		if errors.Is(err, io.EOF) {
+			err = fmt.Errorf("transport: %s closed connection", addr)
+		}
+		return nil, err
+	}
+	if resp.Err != "" {
+		return resp.Body, &RemoteError{Msg: resp.Err}
+	}
+	return resp.Body, nil
+}
+
+// reset drops the broken connection; tc.mu must be held.
+func (tc *tcpConn) reset() {
+	if tc.conn != nil {
+		tc.conn.Close()
+		tc.conn = nil
+		tc.enc = nil
+		tc.dec = nil
+	}
+}
+
+// Close closes all pooled connections.
+func (c *TCPCaller) Close() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, tc := range c.conns {
+		tc.mu.Lock()
+		tc.reset()
+		tc.mu.Unlock()
+	}
+	c.conns = make(map[string]*tcpConn)
+}
+
+var _ Caller = (*TCPCaller)(nil)

@@ -1,0 +1,51 @@
+// Package transport provides the message transports peers communicate
+// over: an in-memory network for simulation and a TCP/gob network for live
+// clusters. Both expose the same Caller interface, so the chord protocol
+// and the partition lookup protocol are transport-agnostic.
+package transport
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Caller issues a request to the node at addr and returns its response.
+// Requests and responses are plain values; over TCP they must be
+// gob-encodable and registered with RegisterType.
+type Caller interface {
+	Call(addr string, req any) (any, error)
+}
+
+// Handler serves requests arriving at one node. It returns the response
+// value or an error; transports carry the error back to the caller.
+type Handler func(req any) (any, error)
+
+// ErrUnknownAddr is returned by the in-memory network for addresses with
+// no registered handler, modeling an unreachable peer.
+var ErrUnknownAddr = errors.New("transport: unknown address")
+
+// ErrBadRequest is returned by handlers for unrecognized request types.
+var ErrBadRequest = errors.New("transport: bad request")
+
+// RemoteError is how a handler-side failure surfaces at the caller when
+// the transport cannot carry the original error value (TCP). The in-memory
+// transport returns handler errors unwrapped.
+type RemoteError struct {
+	Msg string
+}
+
+// Error implements error.
+func (e *RemoteError) Error() string { return "transport: remote: " + e.Msg }
+
+// WrapRemote converts an error to its wire representation.
+func WrapRemote(err error) *RemoteError {
+	if err == nil {
+		return nil
+	}
+	return &RemoteError{Msg: err.Error()}
+}
+
+// BadRequest builds the standard unknown-request-type error.
+func BadRequest(req any) error {
+	return fmt.Errorf("%w: %T", ErrBadRequest, req)
+}

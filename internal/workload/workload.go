@@ -1,0 +1,201 @@
+// Package workload generates the query range workloads of the paper's
+// evaluation (10,000 uniform random integer ranges over [0, 1000], ~0.2%
+// repetitions) plus skewed extensions (Zipf-popular hot spots, clustered
+// ranges) for ablations. All generators are deterministic given a seed.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"p2prange/internal/rangeset"
+)
+
+// Paper workload constants (Sec. 5.1).
+const (
+	// DefaultDomainLo and DefaultDomainHi bound the attribute domain.
+	DefaultDomainLo = 0
+	DefaultDomainHi = 1000
+	// DefaultQueries is the number of query ranges in the quality runs.
+	DefaultQueries = 10000
+	// DefaultWarmupFrac is the fraction of initial queries excluded from
+	// measurement (the paper removes the first 20%).
+	DefaultWarmupFrac = 0.20
+)
+
+// Generator produces query ranges.
+type Generator interface {
+	// Next returns the next query range.
+	Next() rangeset.Range
+	// Name identifies the workload for reports.
+	Name() string
+}
+
+// Uniform draws ranges whose endpoints are independent uniform values in
+// [Lo, Hi], swapped into order — the paper's workload. The expected range
+// size is (Hi-Lo)/3.
+type Uniform struct {
+	Lo, Hi int64
+	rng    *rand.Rand
+}
+
+// NewUniform returns the paper's uniform workload over [lo, hi].
+func NewUniform(lo, hi int64, seed int64) *Uniform {
+	if hi <= lo {
+		panic(fmt.Sprintf("workload: bad domain [%d,%d]", lo, hi))
+	}
+	return &Uniform{Lo: lo, Hi: hi, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Next implements Generator.
+func (u *Uniform) Next() rangeset.Range {
+	span := u.Hi - u.Lo + 1
+	a := u.Lo + u.rng.Int63n(span)
+	b := u.Lo + u.rng.Int63n(span)
+	if a > b {
+		a, b = b, a
+	}
+	return rangeset.Range{Lo: a, Hi: b}
+}
+
+// Name implements Generator.
+func (u *Uniform) Name() string { return fmt.Sprintf("uniform[%d,%d]", u.Lo, u.Hi) }
+
+// FixedSize draws ranges of exactly Size whose start is uniform; used by
+// the Fig. 5 timing sweep, which varies the range size from 10 to 1500.
+type FixedSize struct {
+	Lo, Hi int64
+	Size   int64
+	rng    *rand.Rand
+}
+
+// NewFixedSize returns a generator of size-sized ranges within [lo, hi].
+func NewFixedSize(lo, hi, size int64, seed int64) *FixedSize {
+	if size < 1 || hi-lo+1 < size {
+		panic(fmt.Sprintf("workload: size %d does not fit domain [%d,%d]", size, lo, hi))
+	}
+	return &FixedSize{Lo: lo, Hi: hi, Size: size, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Next implements Generator.
+func (f *FixedSize) Next() rangeset.Range {
+	start := f.Lo + f.rng.Int63n(f.Hi-f.Lo+2-f.Size)
+	return rangeset.Range{Lo: start, Hi: start + f.Size - 1}
+}
+
+// Name implements Generator.
+func (f *FixedSize) Name() string { return fmt.Sprintf("fixed-size %d", f.Size) }
+
+// Zipf draws range centers from a Zipf distribution over the domain, so
+// some attribute regions are queried far more often — the skewed-workload
+// extension. Widths are uniform up to MaxWidth.
+type Zipf struct {
+	Lo, Hi   int64
+	MaxWidth int64
+	rng      *rand.Rand
+	zipf     *rand.Zipf
+}
+
+// NewZipf returns a skewed workload; s > 1 controls the skew.
+func NewZipf(lo, hi, maxWidth int64, s float64, seed int64) *Zipf {
+	rng := rand.New(rand.NewSource(seed))
+	n := uint64(hi - lo)
+	return &Zipf{
+		Lo: lo, Hi: hi, MaxWidth: maxWidth,
+		rng:  rng,
+		zipf: rand.NewZipf(rng, s, 1, n),
+	}
+}
+
+// Next implements Generator.
+func (z *Zipf) Next() rangeset.Range {
+	center := z.Lo + int64(z.zipf.Uint64())
+	w := z.rng.Int63n(z.MaxWidth) + 1
+	lo, hi := center-w/2, center+(w-1)/2
+	if lo < z.Lo {
+		lo = z.Lo
+	}
+	if hi > z.Hi {
+		hi = z.Hi
+	}
+	if hi < lo {
+		hi = lo
+	}
+	return rangeset.Range{Lo: lo, Hi: hi}
+}
+
+// Name implements Generator.
+func (z *Zipf) Name() string { return "zipf" }
+
+// Clustered draws ranges around a small set of popular centers with
+// Gaussian jitter, modeling "broad queries about the same hot topics".
+type Clustered struct {
+	Lo, Hi   int64
+	Centers  []int64
+	Spread   float64
+	MaxWidth int64
+	rng      *rand.Rand
+}
+
+// NewClustered builds a workload with k cluster centers spread evenly.
+func NewClustered(lo, hi int64, k int, spread float64, maxWidth int64, seed int64) *Clustered {
+	if k < 1 {
+		panic("workload: need at least one cluster")
+	}
+	centers := make([]int64, k)
+	for i := range centers {
+		centers[i] = lo + (hi-lo)*int64(i*2+1)/int64(2*k)
+	}
+	return &Clustered{
+		Lo: lo, Hi: hi, Centers: centers, Spread: spread, MaxWidth: maxWidth,
+		rng: rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Next implements Generator.
+func (c *Clustered) Next() rangeset.Range {
+	center := c.Centers[c.rng.Intn(len(c.Centers))]
+	center += int64(c.rng.NormFloat64() * c.Spread)
+	w := c.rng.Int63n(c.MaxWidth) + 1
+	lo, hi := center-w/2, center+(w-1)/2
+	if lo < c.Lo {
+		lo = c.Lo
+	}
+	if hi > c.Hi {
+		hi = c.Hi
+	}
+	if hi < lo {
+		lo, hi = c.Lo, c.Lo
+	}
+	return rangeset.Range{Lo: lo, Hi: hi}
+}
+
+// Name implements Generator.
+func (c *Clustered) Name() string { return fmt.Sprintf("clustered(%d)", len(c.Centers)) }
+
+// Take drains n ranges from g into a slice.
+func Take(g Generator, n int) []rangeset.Range {
+	out := make([]rangeset.Range, n)
+	for i := range out {
+		out[i] = g.Next()
+	}
+	return out
+}
+
+// RepetitionRate returns the fraction of queries that exactly repeat an
+// earlier query; the paper reports ~0.2% for its uniform workload.
+func RepetitionRate(qs []rangeset.Range) float64 {
+	if len(qs) == 0 {
+		return 0
+	}
+	seen := make(map[rangeset.Range]struct{}, len(qs))
+	reps := 0
+	for _, q := range qs {
+		if _, ok := seen[q]; ok {
+			reps++
+		} else {
+			seen[q] = struct{}{}
+		}
+	}
+	return float64(reps) / float64(len(qs))
+}

@@ -1,0 +1,142 @@
+package workload
+
+import (
+	"math"
+	"testing"
+)
+
+func TestUniformWithinDomain(t *testing.T) {
+	g := NewUniform(0, 1000, 1)
+	for i := 0; i < 10000; i++ {
+		q := g.Next()
+		if q.Lo < 0 || q.Hi > 1000 || q.Hi < q.Lo {
+			t.Fatalf("bad range %v", q)
+		}
+	}
+}
+
+func TestUniformExpectedSize(t *testing.T) {
+	g := NewUniform(0, 1000, 2)
+	var total float64
+	const n = 50000
+	for i := 0; i < n; i++ {
+		total += float64(g.Next().Size())
+	}
+	mean := total / n
+	// E[|hi-lo|] for two uniforms on [0,1000] is ~333.7; size adds 1.
+	if math.Abs(mean-334.7) > 10 {
+		t.Errorf("mean size %g, want ≈ 334", mean)
+	}
+}
+
+func TestUniformDeterministic(t *testing.T) {
+	a, b := NewUniform(0, 1000, 7), NewUniform(0, 1000, 7)
+	for i := 0; i < 100; i++ {
+		if a.Next() != b.Next() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	c := NewUniform(0, 1000, 8)
+	same := true
+	a2 := NewUniform(0, 1000, 7)
+	for i := 0; i < 100; i++ {
+		if a2.Next() != c.Next() {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical streams")
+	}
+}
+
+func TestRepetitionRateMatchesPaper(t *testing.T) {
+	// The paper reports ~0.2% repetitions for 10,000 uniform ranges over
+	// [0,1000]; our generator should land in that neighborhood.
+	qs := Take(NewUniform(0, 1000, 42), DefaultQueries)
+	rate := RepetitionRate(qs)
+	if rate < 0.0002 || rate > 0.02 {
+		t.Errorf("repetition rate = %.4f, want ≈ 0.002", rate)
+	}
+}
+
+func TestFixedSize(t *testing.T) {
+	g := NewFixedSize(0, 100000, 1500, 3)
+	for i := 0; i < 1000; i++ {
+		q := g.Next()
+		if q.Size() != 1500 {
+			t.Fatalf("size = %d", q.Size())
+		}
+		if q.Lo < 0 || q.Hi > 100000 {
+			t.Fatalf("out of domain: %v", q)
+		}
+	}
+}
+
+func TestFixedSizePanicsWhenTooBig(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic for oversized range")
+		}
+	}()
+	NewFixedSize(0, 10, 50, 1)
+}
+
+func TestZipfSkew(t *testing.T) {
+	g := NewZipf(0, 1000, 100, 1.5, 4)
+	counts := make(map[int64]int)
+	for i := 0; i < 20000; i++ {
+		q := g.Next()
+		if q.Lo < 0 || q.Hi > 1000 || q.Hi < q.Lo {
+			t.Fatalf("bad range %v", q)
+		}
+		counts[q.Lo/100]++ // decile of the domain
+	}
+	// Zipf centers concentrate near the low end of the domain.
+	if counts[0] < counts[5] {
+		t.Errorf("no skew: decile0=%d decile5=%d", counts[0], counts[5])
+	}
+}
+
+func TestClusteredAroundCenters(t *testing.T) {
+	g := NewClustered(0, 1000, 2, 10, 50, 5)
+	near := 0
+	const n = 5000
+	for i := 0; i < n; i++ {
+		q := g.Next()
+		mid := (q.Lo + q.Hi) / 2
+		for _, c := range g.Centers {
+			if mid > c-80 && mid < c+80 {
+				near++
+				break
+			}
+		}
+	}
+	if float64(near)/n < 0.95 {
+		t.Errorf("only %d/%d ranges near cluster centers", near, n)
+	}
+}
+
+func TestTake(t *testing.T) {
+	qs := Take(NewUniform(0, 10, 1), 25)
+	if len(qs) != 25 {
+		t.Errorf("Take returned %d", len(qs))
+	}
+}
+
+func TestNames(t *testing.T) {
+	gens := []Generator{
+		NewUniform(0, 10, 1),
+		NewFixedSize(0, 100, 5, 1),
+		NewZipf(0, 100, 10, 1.1, 1),
+		NewClustered(0, 100, 2, 5, 10, 1),
+	}
+	seen := map[string]bool{}
+	for _, g := range gens {
+		name := g.Name()
+		if name == "" || seen[name] {
+			t.Errorf("bad or duplicate name %q", name)
+		}
+		seen[name] = true
+	}
+}

@@ -1,0 +1,203 @@
+package p2prange
+
+import (
+	"fmt"
+	"math/rand"
+	"net"
+	"time"
+
+	"p2prange/internal/chord"
+	"p2prange/internal/minhash"
+	"p2prange/internal/peer"
+	"p2prange/internal/store"
+	"p2prange/internal/transport"
+)
+
+// LiveConfig configures a real TCP peer. All peers of one ring must use
+// the same Family, K, L, and SchemeSeed, or their identifiers will not
+// line up; SchemeSeed is therefore an explicit, shared parameter.
+type LiveConfig struct {
+	// Family, K, L parameterize the shared LSH scheme (defaults:
+	// ApproxMinWise, 20, 5).
+	Family Family
+	K, L   int
+	// SchemeSeed derives the shared key material (default 1).
+	SchemeSeed int64
+	// Measure is the bucket match measure (zero value MatchJaccard).
+	Measure Measure
+	// Schema enables partition data serving.
+	Schema *Schema
+	// Replicas pushes each stored descriptor to that many ring successors.
+	Replicas int
+	// Stabilize controls the chord maintenance cadence; zero values use
+	// chord defaults.
+	Stabilize chord.MaintainerConfig
+}
+
+func (c LiveConfig) withDefaults() LiveConfig {
+	if c.K <= 0 {
+		c.K = minhash.DefaultK
+	}
+	if c.L <= 0 {
+		c.L = minhash.DefaultL
+	}
+	if c.SchemeSeed == 0 {
+		c.SchemeSeed = 1
+	}
+	return c
+}
+
+// LivePeer is one real peer: a TCP server, a chord node with background
+// stabilization, and the partition store/protocol.
+type LivePeer struct {
+	peer       *peer.Peer
+	server     *transport.TCPServer
+	caller     *transport.TCPCaller
+	maintainer *chord.Maintainer
+}
+
+// StartPeer launches a live peer listening on listenAddr (host:port; the
+// OS picks a port for ":0"). If bootstrap is non-empty the peer joins the
+// ring that peer belongs to; otherwise it starts a new one-node ring.
+func StartPeer(listenAddr, bootstrap string, cfg LiveConfig) (*LivePeer, error) {
+	cfg = cfg.withDefaults()
+	ln, err := net.Listen("tcp", listenAddr)
+	if err != nil {
+		return nil, fmt.Errorf("p2prange: listen %s: %w", listenAddr, err)
+	}
+	addr := ln.Addr().String()
+
+	raw, err := minhash.NewScheme(cfg.Family, cfg.K, cfg.L, rand.New(rand.NewSource(cfg.SchemeSeed)))
+	if err != nil {
+		ln.Close()
+		return nil, err
+	}
+	caller := transport.NewTCPCaller()
+	p, err := peer.New(addr, caller, peer.Config{
+		Scheme:   raw.Compiled(),
+		Measure:  cfg.Measure,
+		Schema:   cfg.Schema,
+		Replicas: cfg.Replicas,
+	})
+	if err != nil {
+		ln.Close()
+		return nil, err
+	}
+	lp := &LivePeer{
+		peer:   p,
+		caller: caller,
+		server: transport.ServeTCP(ln, p.Handle),
+	}
+	if bootstrap != "" {
+		if err := p.Node().Join(bootstrap); err != nil {
+			lp.Close()
+			return nil, err
+		}
+	}
+	lp.maintainer = chord.StartMaintainer(p.Node(), cfg.Stabilize)
+	return lp, nil
+}
+
+// Addr returns the peer's listen address (how other peers reach it).
+func (lp *LivePeer) Addr() string { return lp.peer.Addr() }
+
+// Ref returns the peer's chord identity.
+func (lp *LivePeer) Ref() chord.Ref { return lp.peer.Ref() }
+
+// Lookup runs the approximate range lookup from this peer. Routing
+// failures (e.g. a peer departed and fingers are stale) are retried with
+// backoff while the stabilization protocol repairs the ring.
+func (lp *LivePeer) Lookup(rel, attribute string, q Range, cache bool) (Match, bool, error) {
+	var lastErr error
+	backoff := 100 * time.Millisecond
+	for attempt := 0; attempt < 8; attempt++ {
+		lr, err := lp.peer.Lookup(rel, attribute, q, cache)
+		if err == nil {
+			return lr.Match, lr.Found, nil
+		}
+		lastErr = err
+		time.Sleep(backoff)
+		if backoff < time.Second {
+			backoff *= 2
+		}
+	}
+	return Match{}, false, lastErr
+}
+
+// Publish stores a partition descriptor held by this peer under its l
+// identifiers.
+func (lp *LivePeer) Publish(info PartitionInfo) error {
+	_, err := lp.peer.Publish(info)
+	return err
+}
+
+// AddPartition materializes partition data locally so other peers can
+// fetch it; call Publish with its descriptor to make it discoverable.
+func (lp *LivePeer) AddPartition(rel *Relation, attribute string, rg Range) error {
+	part, err := rel.Partition(attribute, rg)
+	if err != nil {
+		return err
+	}
+	lp.peer.AddPartition(part)
+	return nil
+}
+
+// Fetch retrieves the tuples of a matched partition from its holder.
+func (lp *LivePeer) Fetch(m Match) (*Relation, error) { return lp.peer.FetchData(m) }
+
+// StoredPartitions reports how many descriptors this peer's buckets hold.
+func (lp *LivePeer) StoredPartitions() int { return lp.peer.Store().Len() }
+
+// Successor exposes the chord successor for health checks.
+func (lp *LivePeer) Successor() chord.Ref { return lp.peer.Node().Successor() }
+
+// WaitStable blocks until the peer's successor and predecessor links look
+// settled (predecessor known and successor reachable) or the timeout
+// elapses. Convenience for tests and demos.
+func (lp *LivePeer) WaitStable(timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		succ := lp.peer.Node().Successor()
+		_, hasPred := lp.peer.Node().Predecessor()
+		if hasPred && !succ.IsZero() {
+			return true
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	return false
+}
+
+// ReclaimArc pulls the buckets this peer now owns from its successor;
+// call it after joining once the ring has stabilized so descriptors
+// stored before the join are found at their new owner.
+func (lp *LivePeer) ReclaimArc() error { return lp.peer.ReclaimArc() }
+
+// Leave gracefully departs: stored buckets are handed to the successor,
+// ring neighbors are re-linked, and the peer shuts down.
+func (lp *LivePeer) Leave() error {
+	succ := lp.peer.Node().Successor()
+	var handoffErr error
+	if succ.ID != lp.peer.Node().ID() {
+		handoffErr = lp.peer.HandoffTo(succ)
+	}
+	if err := lp.peer.Node().Leave(); err != nil && handoffErr == nil {
+		handoffErr = err
+	}
+	lp.Close()
+	return handoffErr
+}
+
+// Close stops maintenance, the server, and client connections without the
+// graceful hand-off.
+func (lp *LivePeer) Close() {
+	if lp.maintainer != nil {
+		lp.maintainer.Stop()
+	}
+	lp.server.Close()
+	lp.caller.Close()
+}
+
+// Descriptor builds a PartitionInfo for data held at this peer.
+func (lp *LivePeer) Descriptor(rel, attribute string, rg Range) PartitionInfo {
+	return store.Partition{Relation: rel, Attribute: attribute, Range: rg, Holder: lp.Addr()}
+}

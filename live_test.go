@@ -1,0 +1,175 @@
+package p2prange
+
+import (
+	"testing"
+	"time"
+
+	"p2prange/internal/chord"
+	"p2prange/internal/relation"
+)
+
+// liveRing starts n real TCP peers on loopback with fast stabilization
+// and waits for convergence.
+func liveRing(t *testing.T, n int) []*LivePeer {
+	t.Helper()
+	cfg := LiveConfig{
+		K: 4, L: 3, SchemeSeed: 77,
+		Measure: MatchContainment,
+		Schema:  relation.MedicalSchema(),
+		Stabilize: chord.MaintainerConfig{
+			StabilizeEvery:        20 * time.Millisecond,
+			FixFingersEvery:       5 * time.Millisecond,
+			CheckPredecessorEvery: 50 * time.Millisecond,
+		},
+	}
+	boot, err := StartPeer("127.0.0.1:0", "", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	peers := []*LivePeer{boot}
+	t.Cleanup(boot.Close)
+	for i := 1; i < n; i++ {
+		p, err := StartPeer("127.0.0.1:0", boot.Addr(), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(p.Close)
+		peers = append(peers, p)
+	}
+	deadline := time.Now().Add(15 * time.Second)
+	for _, p := range peers {
+		if !p.WaitStable(time.Until(deadline)) {
+			t.Fatalf("peer %s did not stabilize", p.Ref())
+		}
+	}
+	// Give fix-fingers a moment to cycle after the last join.
+	time.Sleep(300 * time.Millisecond)
+	return peers
+}
+
+func TestLiveLookupAndFetch(t *testing.T) {
+	peers := liveRing(t, 5)
+
+	rels, err := relation.GenerateMedical(relation.MedicalConfig{
+		Patients: 100, Physicians: 5, Diagnoses: 100, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	holder := peers[2]
+	rg, _ := NewRange(30, 50)
+	if err := holder.AddPartition(rels["Patient"], "age", rg); err != nil {
+		t.Fatal(err)
+	}
+	if err := holder.Publish(holder.Descriptor("Patient", "age", rg)); err != nil {
+		t.Fatal(err)
+	}
+
+	querier := peers[4]
+	similar, _ := NewRange(30, 49)
+	m, found, err := querier.Lookup("Patient", "age", similar, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !found {
+		t.Fatal("similar range not found over TCP")
+	}
+	if m.Partition.Holder != holder.Addr() {
+		t.Errorf("holder = %s, want %s", m.Partition.Holder, holder.Addr())
+	}
+	data, err := querier.Fetch(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := rels["Patient"].SelectRange("age", rg)
+	if data.Len() != want.Len() {
+		t.Errorf("fetched %d tuples, want %d", data.Len(), want.Len())
+	}
+}
+
+func TestLiveLeaveHandsOffBuckets(t *testing.T) {
+	peers := liveRing(t, 4)
+	rg, _ := NewRange(10, 90)
+	if _, _, err := peers[0].Lookup("R", "a", rg, true); err != nil {
+		t.Fatal(err)
+	}
+	total := func(ps []*LivePeer) int {
+		n := 0
+		for _, p := range ps {
+			n += p.StoredPartitions()
+		}
+		return n
+	}
+	before := total(peers)
+	if before == 0 {
+		t.Fatal("nothing stored")
+	}
+	// Leave with whichever peer holds descriptors (or any peer).
+	leaver := peers[1]
+	rest := []*LivePeer{peers[0], peers[2], peers[3]}
+	if err := leaver.Leave(); err != nil {
+		t.Fatalf("leave: %v", err)
+	}
+	if got := total(rest); got != before {
+		t.Errorf("descriptors after leave = %d, want %d (handoff lost data)", got, before)
+	}
+	// The departed descriptors remain findable once the ring repairs.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		_, found, err := rest[0].Lookup("R", "a", rg, false)
+		if err == nil && found {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("descriptor unreachable after leave: found=%v err=%v", found, err)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+func TestLiveReclaimArc(t *testing.T) {
+	cfg := LiveConfig{
+		K: 4, L: 3, SchemeSeed: 78,
+		Stabilize: chord.MaintainerConfig{
+			StabilizeEvery:        20 * time.Millisecond,
+			FixFingersEvery:       5 * time.Millisecond,
+			CheckPredecessorEvery: 50 * time.Millisecond,
+		},
+	}
+	boot, err := StartPeer("127.0.0.1:0", "", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer boot.Close()
+	// Store everything at the bootstrap (one-node ring owns all).
+	rg, _ := NewRange(5, 55)
+	if _, _, err := boot.Lookup("R", "a", rg, true); err != nil {
+		t.Fatal(err)
+	}
+	if boot.StoredPartitions() == 0 {
+		t.Fatal("bootstrap stored nothing")
+	}
+	// A joiner reclaims its arc; total descriptors are conserved.
+	joiner, err := StartPeer("127.0.0.1:0", boot.Addr(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer joiner.Close()
+	if !joiner.WaitStable(10*time.Second) || !boot.WaitStable(10*time.Second) {
+		t.Fatal("two-node ring did not stabilize")
+	}
+	before := boot.StoredPartitions() + joiner.StoredPartitions()
+	if err := joiner.ReclaimArc(); err != nil {
+		t.Fatal(err)
+	}
+	after := boot.StoredPartitions() + joiner.StoredPartitions()
+	if after != before {
+		t.Errorf("reclaim changed descriptor count %d -> %d", before, after)
+	}
+	// Lookups still find the range from either peer.
+	for _, p := range []*LivePeer{boot, joiner} {
+		if _, found, err := p.Lookup("R", "a", rg, false); err != nil || !found {
+			t.Errorf("lookup from %s after reclaim: found=%v err=%v", p.Ref(), found, err)
+		}
+	}
+}

@@ -1,0 +1,342 @@
+// Package p2prange is a peer-to-peer data sharing system that answers
+// approximate range selection queries, reproducing "Approximate Range
+// Selection Queries in Peer-to-Peer Systems" (Gupta, Agrawal, El Abbadi,
+// CIDR 2003).
+//
+// Peers cache horizontal partitions of shared relations — the tuples
+// selected by a range predicate on one attribute. A querying peer hashes
+// its selection range with locality sensitive hashing (min-wise
+// independent permutations) into l identifiers on a Chord ring, asks the
+// peers owning those identifiers for their most similar cached partition,
+// and answers the query from the best match (optionally falling back to
+// the data source and caching the result for future queries).
+//
+// The package is a facade over the building blocks in internal/: exported
+// aliases give external users direct access to the range, schema, and
+// match types, while System wires peers, transport, hashing, and the
+// relational layer together. Use New for an in-process (simulated)
+// system, and StartPeer/Connect (live.go) for real TCP deployments.
+package p2prange
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"p2prange/internal/chord"
+	"p2prange/internal/minhash"
+	"p2prange/internal/peer"
+	"p2prange/internal/query"
+	"p2prange/internal/rangeset"
+	"p2prange/internal/relation"
+	"p2prange/internal/sim"
+	"p2prange/internal/store"
+)
+
+// Re-exported building blocks. Aliases (not wrappers) so values flow
+// freely between the facade and the internal packages.
+type (
+	// Range is a closed integer interval [Lo, Hi], the value set of a
+	// range predicate.
+	Range = rangeset.Range
+	// Match is a scored cached-partition candidate.
+	Match = store.Match
+	// PartitionInfo describes one cached partition (descriptor only).
+	PartitionInfo = store.Partition
+	// Measure selects the bucket-level match measure.
+	Measure = store.Measure
+	// Family identifies a hash-function family.
+	Family = minhash.Family
+	// Schema is the global relational schema.
+	Schema = relation.Schema
+	// Relation is a materialized set of tuples.
+	Relation = relation.Relation
+	// RelationSchema describes one relation.
+	RelationSchema = relation.RelationSchema
+	// Column is one attribute of a relation schema.
+	Column = relation.Column
+	// Tuple is one row.
+	Tuple = relation.Tuple
+	// Value is one typed cell.
+	Value = relation.Value
+	// QueryResult is the output of a SQL execution.
+	QueryResult = query.Result
+)
+
+// Hash-function families (paper Sec. 3.3 and 5.1).
+const (
+	// MinWise is the full min-wise independent bit permutation.
+	MinWise = minhash.MinWise
+	// ApproxMinWise is its cheap first-iteration approximation.
+	ApproxMinWise = minhash.ApproxMinWise
+	// Linear is pi(x) = a*x + b mod p.
+	Linear = minhash.Linear
+)
+
+// Bucket match measures (paper Sec. 5.2).
+const (
+	// MatchJaccard scores candidates by Jaccard similarity.
+	MatchJaccard = store.MatchJaccard
+	// MatchContainment scores candidates by query containment.
+	MatchContainment = store.MatchContainment
+)
+
+// NewRange builds a validated range.
+func NewRange(lo, hi int64) (Range, error) { return rangeset.New(lo, hi) }
+
+// Config assembles a System.
+type Config struct {
+	// Peers is the number of simulated peers (default 32).
+	Peers int
+	// Family selects the hash family (default ApproxMinWise, the paper's
+	// recommended trade-off).
+	Family Family
+	// K and L are the LSH scheme parameters (default 20 and 5).
+	K, L int
+	// Measure is the bucket match measure. The zero value is
+	// MatchJaccard, the measure the hash family is built on; pass
+	// MatchContainment for the better recall Fig. 9 reports.
+	Measure Measure
+	// PadFrac expands query ranges before hashing (Fig. 10; default 0).
+	PadFrac float64
+	// Seed drives all randomness (default 1).
+	Seed int64
+	// Schema is required for SQL execution; optional for raw range use.
+	Schema *Schema
+	// UsePeerIndex enables the Section 5.3 per-peer index extension.
+	UsePeerIndex bool
+	// MultiAttribute lifts the paper's single-attribute-select
+	// restriction (its stated future work): the most selective range per
+	// relation resolves through the DHT, the rest filter locally.
+	MultiAttribute bool
+	// UseStats enables statistics-based join ordering over the registered
+	// base relations (the paper's third future-work item).
+	UseStats bool
+	// Replicas pushes each stored descriptor to that many ring successors
+	// so peer crashes do not lose cached descriptors.
+	Replicas int
+	// CacheCapacity bounds each peer's descriptor cache with LRU
+	// eviction; 0 means unbounded (the paper's model).
+	CacheCapacity int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Peers <= 0 {
+		c.Peers = 32
+	}
+	if c.K <= 0 {
+		c.K = minhash.DefaultK
+	}
+	if c.L <= 0 {
+		c.L = minhash.DefaultL
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// System is an in-process deployment: N peers over the in-memory
+// transport on a converged chord ring, sharing one LSH scheme.
+type System struct {
+	cfg     Config
+	cluster *sim.Cluster
+	scheme  *minhash.Scheme
+	rng     *rand.Rand
+	base    map[string]*Relation
+	stats   *query.Stats // lazily built when Config.UseStats
+}
+
+// New builds a simulated system.
+func New(cfg Config) (*System, error) {
+	cfg = cfg.withDefaults()
+	raw, err := minhash.NewScheme(cfg.Family, cfg.K, cfg.L, rand.New(rand.NewSource(cfg.Seed)))
+	if err != nil {
+		return nil, err
+	}
+	scheme := raw.Compiled()
+	cluster, err := sim.NewCluster(sim.ClusterConfig{
+		N: cfg.Peers,
+		Peer: peer.Config{
+			Scheme:        scheme,
+			Measure:       cfg.Measure,
+			Schema:        cfg.Schema,
+			UsePeerIndex:  cfg.UsePeerIndex,
+			Replicas:      cfg.Replicas,
+			CacheCapacity: cfg.CacheCapacity,
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &System{
+		cfg:     cfg,
+		cluster: cluster,
+		scheme:  scheme,
+		rng:     rand.New(rand.NewSource(cfg.Seed + 0x9e3779b9)),
+		base:    make(map[string]*Relation),
+	}, nil
+}
+
+// Peers returns the number of peers.
+func (s *System) Peers() int { return s.cluster.N() }
+
+// Lookup runs the paper's approximate range lookup for relation.attribute
+// from a random querying peer. When cache is true (the paper's protocol)
+// a non-exact query range is recorded at the l identifier owners so later
+// similar queries can find it.
+func (s *System) Lookup(rel, attribute string, q Range, cache bool) (Match, bool, error) {
+	if !q.Valid() {
+		return Match{}, false, fmt.Errorf("p2prange: invalid range %s", q)
+	}
+	origin := s.cluster.RandomPeer(s.rng)
+	lr, err := origin.Lookup(rel, attribute, q, cache)
+	if err != nil {
+		return Match{}, false, err
+	}
+	return lr.Match, lr.Found, nil
+}
+
+// LookupMulti answers a multi-interval predicate (a union of ranges, e.g.
+// from an IN or OR condition): each component range runs the approximate
+// lookup, and the result reports per-component matches plus the fraction
+// of the whole set the cache covered.
+func (s *System) LookupMulti(rel, attribute string, cache bool, ranges ...Range) (peer.SetLookupResult, error) {
+	origin := s.cluster.RandomPeer(s.rng)
+	return origin.LookupSet(rel, attribute, rangeset.NewSet(ranges...), cache)
+}
+
+// Publish registers a partition descriptor held by holderless caller: the
+// descriptor is stored under its l identifiers from a random origin peer.
+func (s *System) Publish(info PartitionInfo) error {
+	origin := s.cluster.RandomPeer(s.rng)
+	if info.Holder == "" {
+		info.Holder = origin.Addr()
+	}
+	_, err := origin.Publish(info)
+	return err
+}
+
+// AddBase registers a base relation at the system's data source, enabling
+// SQL execution with source fallback and partition materialization.
+func (s *System) AddBase(r *Relation) error {
+	if s.cfg.Schema == nil {
+		return errors.New("p2prange: Config.Schema required for relational data")
+	}
+	if _, ok := s.cfg.Schema.Relation(r.Schema.Name); !ok {
+		return fmt.Errorf("p2prange: relation %q not in the global schema", r.Schema.Name)
+	}
+	s.base[r.Schema.Name] = r
+	s.stats = nil // rebuilt lazily to include the new relation
+	// Index orderable columns so partition materialization at the data
+	// source is O(log n + k) per fetch.
+	for _, col := range r.Schema.Columns {
+		if col.Type != relation.TString {
+			if err := r.BuildIndex(col.Name); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Base returns a registered base relation by name.
+func (s *System) Base(rel string) (*Relation, bool) {
+	r, ok := s.base[rel]
+	return r, ok
+}
+
+// Query parses, plans, and executes a restricted SQL SELECT: selects are
+// pushed to the leaves and resolved through the DHT (with base fallback
+// and caching); joins and projection run at the querying peer.
+func (s *System) Query(sql string) (*QueryResult, error) {
+	if s.cfg.Schema == nil {
+		return nil, errors.New("p2prange: Config.Schema required for SQL queries")
+	}
+	q, err := query.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	plan, err := query.BuildPlanWith(q, s.cfg.Schema, s.planOptions())
+	if err != nil {
+		return nil, err
+	}
+	origin := s.cluster.RandomPeer(s.rng)
+	src := &peer.DataSource{
+		Peer:    origin,
+		Base:    query.NewRelationSource(s.base),
+		PadFrac: s.cfg.PadFrac,
+	}
+	return query.Execute(plan, s.cfg.Schema, src)
+}
+
+// Plan returns the physical plan for a SQL statement without executing
+// it, for inspection (the paper's Fig. 1 plan shape).
+func (s *System) Plan(sql string) (string, error) {
+	if s.cfg.Schema == nil {
+		return "", errors.New("p2prange: Config.Schema required for SQL queries")
+	}
+	q, err := query.Parse(sql)
+	if err != nil {
+		return "", err
+	}
+	plan, err := query.BuildPlanWith(q, s.cfg.Schema, s.planOptions())
+	if err != nil {
+		return "", err
+	}
+	return plan.String(), nil
+}
+
+func (s *System) planOptions() query.PlanOptions {
+	opts := query.PlanOptions{AllowMultiAttribute: s.cfg.MultiAttribute}
+	if s.cfg.UseStats {
+		if s.stats == nil {
+			s.stats = query.NewStats(s.base)
+		}
+		opts.Stats = s.stats
+	}
+	return opts
+}
+
+// Loads returns the stored-descriptor count per peer (Fig. 11's metric).
+func (s *System) Loads() []int { return s.cluster.Loads() }
+
+// Grow adds one peer through the real join protocol (bootstrap, ring
+// stabilization, arc reclamation) and returns the new ring size.
+func (s *System) Grow() (int, error) {
+	if _, err := s.cluster.Join(); err != nil {
+		return s.cluster.N(), err
+	}
+	return s.cluster.N(), nil
+}
+
+// Shrink removes a random peer gracefully: its buckets hand off to the
+// successor before it departs. Returns the new ring size.
+func (s *System) Shrink() (int, error) {
+	if s.cluster.N() <= 1 {
+		return s.cluster.N(), errors.New("p2prange: cannot shrink below one peer")
+	}
+	err := s.cluster.Leave(s.rng.Intn(s.cluster.N()))
+	return s.cluster.N(), err
+}
+
+// CrashOne fails a random peer abruptly — no handoff, no notification —
+// and lets the stabilization protocol repair the ring. Descriptors stored
+// at the crashed peer are lost (they re-cache on future misses). Returns
+// the new ring size.
+func (s *System) CrashOne() (int, error) {
+	if s.cluster.N() <= 1 {
+		return s.cluster.N(), errors.New("p2prange: cannot crash the last peer")
+	}
+	err := s.cluster.Crash(s.rng.Intn(s.cluster.N()))
+	return s.cluster.N(), err
+}
+
+// Ring returns the peers' chord references in ring order, for inspection.
+func (s *System) Ring() []chord.Ref {
+	refs := make([]chord.Ref, 0, s.cluster.N())
+	for _, p := range s.cluster.Peers {
+		refs = append(refs, p.Ref())
+	}
+	return refs
+}
