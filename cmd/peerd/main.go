@@ -23,6 +23,7 @@ import (
 
 	"p2prange"
 	"p2prange/internal/relation"
+	"p2prange/internal/transport"
 )
 
 // publishFlags collects repeatable -publish values of the form
@@ -42,6 +43,9 @@ func main() {
 		l          = flag.Int("l", 5, "number of groups")
 		schemeSeed = flag.Int64("scheme-seed", 1, "shared LSH key-material seed (must match across the ring)")
 		status     = flag.Duration("status", 10*time.Second, "status print interval (0 disables)")
+		retries    = flag.Int("retries", 3, "RPC attempts per call (1 disables transport retries)")
+		noReroute  = flag.Bool("no-reroute", false, "disable failure-aware chord routing (fault-model ablation)")
+		drop       = flag.Float64("drop", 0, "inject per-RPC drop probability in [0,1] (resilience testing)")
 	)
 	var publishes publishFlags
 	flag.Var(&publishes, "publish",
@@ -52,13 +56,20 @@ func main() {
 	if err != nil {
 		log.Fatalf("peerd: %v", err)
 	}
-	lp, err := p2prange.StartPeer(*listen, *join, p2prange.LiveConfig{
-		Family:     fam,
-		K:          *k,
-		L:          *l,
-		SchemeSeed: *schemeSeed,
-		Schema:     relation.MedicalSchema(),
-	})
+	cfg := p2prange.LiveConfig{
+		Family:           fam,
+		K:                *k,
+		L:                *l,
+		SchemeSeed:       *schemeSeed,
+		Schema:           relation.MedicalSchema(),
+		Retry:            transport.RetryConfig{Attempts: *retries},
+		DisableRetry:     *retries <= 1,
+		DisableRerouting: *noReroute,
+	}
+	if *drop > 0 {
+		cfg.Fault = &transport.FaultConfig{Drop: *drop}
+	}
+	lp, err := p2prange.StartPeer(*listen, *join, cfg)
 	if err != nil {
 		log.Fatalf("peerd: %v", err)
 	}
@@ -90,7 +101,10 @@ func main() {
 	for {
 		select {
 		case <-tick:
-			log.Printf("peerd: successor=%s stored=%d", lp.Successor(), lp.StoredPartitions())
+			rs := lp.RouteStats()
+			log.Printf("peerd: successor=%s stored=%d lookups=%d success=%.1f%% retries=%d reroutes=%d",
+				lp.Successor(), lp.StoredPartitions(),
+				rs.Lookups, rs.SuccessRate(), rs.Retries, rs.Rerouted)
 		case sig := <-sigc:
 			log.Printf("peerd: %v: leaving ring", sig)
 			if err := lp.Leave(); err != nil {

@@ -107,4 +107,19 @@ func main() {
 	} else if found {
 		fmt.Println("lookup after departure still finds the partition")
 	}
+
+	// Abrupt crash: a peer vanishes with no handoff and no notification,
+	// leaving stale fingers and successor pointers at every other peer.
+	// Transport retries plus successor-list rerouting keep lookups
+	// resolving before the stabilization protocol has repaired the ring.
+	peers[2].Close()
+	fmt.Printf("\npeer %s crashed abruptly\n", peers[2].Ref())
+	if _, found, err = querier.Lookup("Patient", "age", q, false); err != nil {
+		log.Fatal(err)
+	} else if found {
+		fmt.Println("lookup right after the crash still finds the partition")
+	}
+	rs := querier.RouteStats()
+	fmt.Printf("  querier fault handling: %d lookups, %.1f%% success, %d retries, %d reroutes\n",
+		rs.Lookups, rs.SuccessRate(), rs.Retries, rs.Rerouted)
 }

@@ -154,6 +154,14 @@ func (m *memClient) Ping(addr string) error {
 	return err
 }
 
+func (m *memClient) SuccessorList(addr string) ([]Ref, error) {
+	n, err := m.get(addr)
+	if err != nil {
+		return nil, err
+	}
+	return n.HandleSuccessorList()
+}
+
 // buildRing creates n nodes on a shared memClient and installs converged
 // state.
 func buildRing(t *testing.T, n int) ([]*Node, *memClient) {

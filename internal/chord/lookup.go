@@ -1,6 +1,9 @@
 package chord
 
-import "fmt"
+import (
+	"errors"
+	"fmt"
+)
 
 // maxLookupSteps bounds iterative routing; with M=32 a correct ring never
 // needs more than M forwarding steps, so anything beyond that is a routing
@@ -13,10 +16,29 @@ const maxLookupSteps = 2 * M
 // distinct nodes the query is forwarded through, including the final hop
 // to the owner and excluding the originating node. This is the quantity
 // the paper plots in Fig. 12.
+//
+// When an RPC to the next hop fails at the transport level and rerouting
+// is enabled (Config.DisableRerouting false), the hop is marked suspect
+// and the query routes around it via the successor list of the node that
+// supplied the pointer; the detour hops are included in the count. With
+// rerouting disabled the lookup fails with ErrUnreachable.
 func (n *Node) Lookup(id ID) (Ref, int, error) {
+	n.stats.AddLookup()
+	ref, hops, err := n.route(id)
+	if err != nil {
+		n.stats.AddFailedLookup()
+	}
+	return ref, hops, err
+}
+
+// route is the iterative resolution loop behind Lookup.
+func (n *Node) route(id ID) (Ref, int, error) {
 	if n.Owns(id) {
 		return n.ref, 0, nil
 	}
+	// from is the node whose routing table pointed us at cur; when cur
+	// turns out to be dead, from's successor list is the detour map.
+	from := n.ref
 	cur := n.ref
 	hops := 0
 	for step := 0; step < maxLookupSteps; step++ {
@@ -27,12 +49,36 @@ func (n *Node) Lookup(id ID) (Ref, int, error) {
 		} else {
 			succ, err = n.client.Successor(cur.Addr)
 			if err != nil {
-				return Ref{}, hops, fmt.Errorf("chord: lookup %s via %s: %w", FmtID(id), cur, err)
+				owner, next, rerr := n.handleDeadHop(from, cur, id, err)
+				if rerr != nil {
+					return Ref{}, hops, fmt.Errorf("chord: lookup %s via %s: %w", FmtID(id), cur, rerr)
+				}
+				if !owner.IsZero() {
+					return owner, hops + 1, nil
+				}
+				cur = next
+				hops++
+				continue
 			}
 		}
 		if BetweenRightIncl(cur.ID, succ.ID, id) {
 			if succ.ID == cur.ID {
 				return succ, hops, nil // owner already reached
+			}
+			if n.reroute && succ.ID != n.ref.ID && n.Suspect(succ.ID) {
+				// The owner itself is suspected dead (e.g. a call to it
+				// just failed); its arc has passed to the next live
+				// successor, so detour instead of handing back a corpse.
+				owner, next, rerr := n.routeAround(cur, succ, id)
+				if rerr != nil {
+					return Ref{}, hops, fmt.Errorf("chord: lookup %s past %s: %w", FmtID(id), succ, rerr)
+				}
+				if !owner.IsZero() {
+					return owner, hops + 1, nil
+				}
+				cur = next
+				hops++
+				continue
 			}
 			return succ, hops + 1, nil // final hop to the owner
 		}
@@ -43,20 +89,108 @@ func (n *Node) Lookup(id ID) (Ref, int, error) {
 			next, err = n.client.ClosestPreceding(cur.Addr, id)
 		}
 		if err != nil {
-			return Ref{}, hops, fmt.Errorf("chord: lookup %s via %s: %w", FmtID(id), cur, err)
+			owner, alt, rerr := n.handleDeadHop(from, cur, id, err)
+			if rerr != nil {
+				return Ref{}, hops, fmt.Errorf("chord: lookup %s via %s: %w", FmtID(id), cur, rerr)
+			}
+			if !owner.IsZero() {
+				return owner, hops + 1, nil
+			}
+			cur = alt
+			hops++
+			continue
 		}
 		if next.ID == cur.ID {
-			// cur knows no closer node; its successor owns id (handled
-			// above) unless state is stale. Fall through to the successor.
+			// cur knows no closer node, so its successor should own id —
+			// but the ownership check above failed, meaning cur's state is
+			// stale. Ask succ directly whether it owns id instead of
+			// wandering the ring successor-by-successor, which inflated
+			// the hop count by revisiting the final edge.
 			if succ.ID == cur.ID {
 				return Ref{}, hops, fmt.Errorf("%w: stuck at %s for %s", ErrNotFound, cur, FmtID(id))
 			}
+			if n.ownsRemote(succ, id) {
+				return succ, hops + 1, nil
+			}
+			from = cur
 			cur = succ
 			hops++
 			continue
 		}
+		from = cur
 		cur = next
 		hops++
 	}
 	return Ref{}, hops, fmt.Errorf("%w: routing loop resolving %s", ErrNotFound, FmtID(id))
+}
+
+// handleDeadHop decides what to do after an RPC to cur failed. For
+// transport-level failures with rerouting enabled it marks cur suspect
+// and picks a detour from from's successor list; either the detour entry
+// already owns id (owner is non-zero) or the lookup should continue from
+// next. Handler-side errors and disabled rerouting surface as rerr.
+func (n *Node) handleDeadHop(from, cur Ref, id ID, err error) (owner, next Ref, rerr error) {
+	if !errors.Is(err, ErrUnreachable) {
+		return Ref{}, Ref{}, err
+	}
+	n.MarkSuspect(cur.ID)
+	if !n.reroute {
+		return Ref{}, Ref{}, err
+	}
+	return n.routeAround(from, cur, id)
+}
+
+// routeAround consults from's successor list for a live node to continue
+// a lookup that hit the dead node. Dead successors transfer their arc to
+// the next live entry, so if the first live entry s satisfies
+// id ∈ (from, s] then s is the owner; otherwise the lookup resumes at s.
+// Each candidate is pinged before the detour commits to it — a reroute
+// must not hand back, or hop to, another corpse.
+func (n *Node) routeAround(from, dead Ref, id ID) (owner, next Ref, rerr error) {
+	n.stats.AddReroute()
+	var list []Ref
+	if from.ID == n.ref.ID {
+		list = n.SuccessorList()
+	} else {
+		var err error
+		list, err = n.client.SuccessorList(from.Addr)
+		if err != nil {
+			if !errors.Is(err, ErrUnreachable) {
+				return Ref{}, Ref{}, err
+			}
+			// The pointer's source died too: fall back to our own list.
+			n.MarkSuspect(from.ID)
+			from = n.ref
+			list = n.SuccessorList()
+		}
+	}
+	for _, s := range list {
+		if s.IsZero() || s.ID == dead.ID || s.ID == from.ID || n.Suspect(s.ID) {
+			continue
+		}
+		if s.ID != n.ref.ID && n.client.Ping(s.Addr) != nil {
+			n.MarkSuspect(s.ID)
+			continue
+		}
+		if BetweenRightIncl(from.ID, s.ID, id) {
+			return s, Ref{}, nil
+		}
+		return Ref{}, s, nil
+	}
+	return Ref{}, Ref{}, fmt.Errorf("%w: no live route past %s", ErrUnreachable, dead)
+}
+
+// ownsRemote asks succ whether it owns id by fetching its predecessor;
+// a node with no predecessor owns everything (mirrors Node.Owns). Errors
+// conservatively report false so the caller steps forward and lets the
+// next iteration's RPC classify the failure.
+func (n *Node) ownsRemote(succ Ref, id ID) bool {
+	p, err := n.client.Predecessor(succ.Addr)
+	if errors.Is(err, ErrNoPredecessor) {
+		return true
+	}
+	if err != nil || p.IsZero() {
+		return false
+	}
+	return BetweenRightIncl(p.ID, succ.ID, id)
 }

@@ -3,9 +3,16 @@ package chord
 import (
 	"context"
 	"log"
+	"math/rand"
 	"sync"
 	"time"
 )
+
+// DefaultJitter is the fractional period jitter applied to maintenance
+// timers when MaintainerConfig.Jitter is zero. Without it, nodes started
+// together stabilize in lockstep and hammer their successors in
+// synchronized bursts.
+const DefaultJitter = 0.2
 
 // MaintainerConfig controls the background stabilization cadence for live
 // (non-simulated) rings.
@@ -18,6 +25,10 @@ type MaintainerConfig struct {
 	// CheckPredecessorEvery is the period between predecessor liveness
 	// checks.
 	CheckPredecessorEvery time.Duration
+	// Jitter spreads each timer period uniformly over
+	// [period*(1-Jitter), period*(1+Jitter)] so co-started nodes desynchronize.
+	// Zero means DefaultJitter; negative disables jitter.
+	Jitter float64
 	// Logger receives protocol errors; nil silences them.
 	Logger *log.Logger
 }
@@ -32,6 +43,12 @@ func (c *MaintainerConfig) withDefaults() MaintainerConfig {
 	}
 	if out.CheckPredecessorEvery <= 0 {
 		out.CheckPredecessorEvery = time.Second
+	}
+	if out.Jitter == 0 {
+		out.Jitter = DefaultJitter
+	}
+	if out.Jitter < 0 {
+		out.Jitter = 0
 	}
 	return out
 }
@@ -52,27 +69,29 @@ func StartMaintainer(node *Node, cfg MaintainerConfig) *Maintainer {
 	ctx, cancel := context.WithCancel(context.Background())
 	m := &Maintainer{node: node, cfg: cfg.withDefaults(), cancel: cancel}
 	m.wg.Add(3)
-	go m.loop(ctx, m.cfg.StabilizeEvery, func() {
+	go m.loop(ctx, 0, m.cfg.StabilizeEvery, func() {
 		if err := node.Stabilize(); err != nil {
 			m.logf("stabilize: %v", err)
 		}
 	})
 	var finger uint
-	go m.loop(ctx, m.cfg.FixFingersEvery, func() {
+	go m.loop(ctx, 1, m.cfg.FixFingersEvery, func() {
 		if err := node.FixFinger(finger); err != nil {
 			m.logf("fix finger %d: %v", finger, err)
 		}
 		finger = (finger + 1) % M
 	})
-	go m.loop(ctx, m.cfg.CheckPredecessorEvery, func() {
+	go m.loop(ctx, 2, m.cfg.CheckPredecessorEvery, func() {
 		node.CheckPredecessor()
 	})
 	return m
 }
 
-func (m *Maintainer) loop(ctx context.Context, every time.Duration, fn func()) {
+func (m *Maintainer) loop(ctx context.Context, salt int64, every time.Duration, fn func()) {
 	defer m.wg.Done()
-	t := time.NewTicker(every)
+	// Per-node, per-loop seed: nodes sharing a config still tick apart.
+	rng := rand.New(rand.NewSource(int64(m.node.ID())*3 + salt))
+	t := time.NewTimer(m.jittered(rng, every))
 	defer t.Stop()
 	for {
 		select {
@@ -80,8 +99,19 @@ func (m *Maintainer) loop(ctx context.Context, every time.Duration, fn func()) {
 			return
 		case <-t.C:
 			fn()
+			t.Reset(m.jittered(rng, every))
 		}
 	}
+}
+
+// jittered picks the next period in [every*(1-j), every*(1+j)].
+func (m *Maintainer) jittered(rng *rand.Rand, every time.Duration) time.Duration {
+	j := m.cfg.Jitter
+	if j <= 0 {
+		return every
+	}
+	f := 1 - j + 2*j*rng.Float64()
+	return time.Duration(float64(every) * f)
 }
 
 func (m *Maintainer) logf(format string, args ...any) {

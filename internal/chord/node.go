@@ -4,6 +4,9 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
+
+	"p2prange/internal/metrics"
 )
 
 // Ref identifies a chord node: its ring position and its transport address.
@@ -47,6 +50,9 @@ type Client interface {
 	Notify(addr string, self Ref) error
 	// Ping checks liveness.
 	Ping(addr string) error
+	// SuccessorList returns the target's successor list, used to route
+	// around a failed next hop.
+	SuccessorList(addr string) ([]Ref, error)
 }
 
 // Handler is the server-side surface of a chord node, mirroring Client
@@ -58,16 +64,32 @@ type Handler interface {
 	HandleFindSuccessor(id ID) (Ref, error)
 	HandleNotify(candidate Ref) error
 	HandlePing() error
+	HandleSuccessorList() ([]Ref, error)
 }
 
 // DefaultSuccessors is the successor-list length used when Config leaves
 // it zero; it tolerates that many simultaneous adjacent failures.
 const DefaultSuccessors = 8
 
+// DefaultSuspectTTL is how long an unreachable node stays excluded from
+// routing before it gets another chance. Long enough that one lookup
+// never revisits a dead hop; short enough that a transient partition
+// heals without restarting the node.
+const DefaultSuspectTTL = 10 * time.Second
+
 // Config parameterizes a Node.
 type Config struct {
 	// Successors is the successor-list length (default DefaultSuccessors).
 	Successors int
+	// DisableRerouting turns off failure-aware routing: lookups fail on
+	// the first unreachable hop instead of routing around it via the
+	// successor list. Used to quantify what fault tolerance buys.
+	DisableRerouting bool
+	// SuspectTTL is how long an unreachable node is excluded from routing
+	// (default DefaultSuspectTTL; negative disables expiry-based reuse).
+	SuspectTTL time.Duration
+	// Stats, when non-nil, receives lookup/reroute counters.
+	Stats *metrics.RouteStats
 }
 
 // Node is one chord peer's routing state. All methods are safe for
@@ -75,14 +97,23 @@ type Config struct {
 // Maintainer (maintain.go) drives stabilization for live deployments, and
 // BuildStableRing (static.go) installs converged state for simulations.
 type Node struct {
-	ref    Ref
-	client Client
-	nsucc  int
+	ref       Ref
+	client    Client
+	nsucc     int
+	reroute   bool
+	susTTL    time.Duration
+	stats     *metrics.RouteStats
 
 	mu      sync.RWMutex
 	pred    Ref
 	fingers [M]Ref // fingers[k] = successor(ref.ID + 2^k)
 	succs   []Ref  // successor list, succs[0] == fingers[0]
+
+	// smu guards suspects separately from the routing state: marking a
+	// node suspect happens on the lookup hot path and must not contend
+	// with stabilization writes.
+	smu      sync.Mutex
+	suspects map[ID]time.Time // node ID -> expiry
 }
 
 // NewNode creates a node at addr (ring position HashAddr(addr)) that will
@@ -90,12 +121,19 @@ type Node struct {
 // its own successor.
 func NewNode(addr string, client Client, cfg Config) *Node {
 	n := &Node{
-		ref:    Ref{ID: HashAddr(addr), Addr: addr},
-		client: client,
-		nsucc:  cfg.Successors,
+		ref:      Ref{ID: HashAddr(addr), Addr: addr},
+		client:   client,
+		nsucc:    cfg.Successors,
+		reroute:  !cfg.DisableRerouting,
+		susTTL:   cfg.SuspectTTL,
+		stats:    cfg.Stats,
+		suspects: make(map[ID]time.Time),
 	}
 	if n.nsucc <= 0 {
 		n.nsucc = DefaultSuccessors
+	}
+	if n.susTTL == 0 {
+		n.susTTL = DefaultSuspectTTL
 	}
 	for k := range n.fingers {
 		n.fingers[k] = n.ref
@@ -160,6 +198,45 @@ func (n *Node) setSuccessor(s Ref) {
 	}
 }
 
+// Stats returns the node's failure counters (nil when not configured).
+func (n *Node) Stats() *metrics.RouteStats { return n.stats }
+
+// FaultTolerant reports whether failure-aware rerouting is enabled.
+func (n *Node) FaultTolerant() bool { return n.reroute }
+
+// MarkSuspect excludes a node from routing decisions until SuspectTTL
+// elapses. Called when an RPC to the node fails at the transport level.
+func (n *Node) MarkSuspect(id ID) {
+	if id == n.ref.ID {
+		return
+	}
+	n.smu.Lock()
+	n.suspects[id] = time.Now().Add(n.susTTL)
+	n.smu.Unlock()
+}
+
+// Suspect reports whether the node is currently excluded from routing.
+func (n *Node) Suspect(id ID) bool {
+	n.smu.Lock()
+	defer n.smu.Unlock()
+	exp, ok := n.suspects[id]
+	if !ok {
+		return false
+	}
+	if n.susTTL >= 0 && time.Now().After(exp) {
+		delete(n.suspects, id)
+		return false
+	}
+	return true
+}
+
+// ForgetSuspects clears the suspect set, e.g. after a partition heals.
+func (n *Node) ForgetSuspects() {
+	n.smu.Lock()
+	n.suspects = make(map[ID]time.Time)
+	n.smu.Unlock()
+}
+
 // Owns reports whether identifier id falls in this node's arc
 // (predecessor, self]. With no known predecessor a one-node ring owns
 // everything.
@@ -186,19 +263,20 @@ func (n *Node) HandlePredecessor() (Ref, error) {
 }
 
 // HandleClosestPreceding implements Handler: the highest finger (or
-// successor-list entry) strictly between this node and id.
+// successor-list entry) strictly between this node and id, skipping
+// nodes currently suspected dead.
 func (n *Node) HandleClosestPreceding(id ID) (Ref, error) {
 	n.mu.RLock()
 	defer n.mu.RUnlock()
 	for k := M - 1; k >= 0; k-- {
 		f := n.fingers[k]
-		if !f.IsZero() && Between(n.ref.ID, id, f.ID) {
+		if !f.IsZero() && Between(n.ref.ID, id, f.ID) && !n.Suspect(f.ID) {
 			return f, nil
 		}
 	}
 	for i := len(n.succs) - 1; i >= 0; i-- {
 		s := n.succs[i]
-		if !s.IsZero() && Between(n.ref.ID, id, s.ID) {
+		if !s.IsZero() && Between(n.ref.ID, id, s.ID) && !n.Suspect(s.ID) {
 			return s, nil
 		}
 	}
@@ -238,6 +316,11 @@ func (n *Node) HandleNotify(candidate Ref) error {
 
 // HandlePing implements Handler.
 func (n *Node) HandlePing() error { return nil }
+
+// HandleSuccessorList implements Handler.
+func (n *Node) HandleSuccessorList() ([]Ref, error) {
+	return n.SuccessorList(), nil
+}
 
 // Join makes the node join the ring that bootstrap belongs to. The node
 // asks bootstrap to resolve the successor of its own ID and adopts it; the

@@ -1,0 +1,62 @@
+package experiments
+
+import (
+	"fmt"
+
+	"p2prange/internal/sim"
+)
+
+func init() {
+	Register("churn", ChurnResilience)
+}
+
+// ChurnResilience measures lookup availability under abrupt peer crashes
+// and a lossy network, with the failure handling this codebase adds —
+// transport retries, suspect tracking, and successor-list rerouting —
+// switched on and off. The paper evaluates static rings only; this
+// ablation quantifies what fault tolerance buys once the churn its
+// deployment setting implies (Section 6) is simulated.
+func ChurnResilience(p Params) (*Table, error) {
+	t := &Table{
+		ID:      "churn",
+		Title:   "Lookup availability under churn: fault tolerance on vs off",
+		Columns: []string{"peers", "crashes", "drop%", "mode", "success%", "retries", "reroutes", "injected"},
+	}
+	n := p.ClusterN
+	if n < 16 {
+		n = 16
+	}
+	lookups := p.Queries
+	if lookups <= 0 {
+		lookups = 500
+	}
+	cfg := sim.ChurnConfig{
+		N:       n,
+		Lookups: lookups,
+		Drop:    0.02,
+		Seed:    p.Seed,
+	}
+	t.Notes = fmt.Sprintf("%d lookups, %d-peer ring, crashes spread across the run, identical seeds per mode", lookups, n)
+	for _, ft := range []bool{true, false} {
+		cfg.FaultTolerance = ft
+		res, err := sim.RunChurn(cfg)
+		if err != nil {
+			return nil, err
+		}
+		mode := "off"
+		if ft {
+			mode = "retry+reroute"
+		}
+		t.AddRow(
+			fmt.Sprintf("%d", n),
+			fmt.Sprintf("%d", n/8),
+			fmt.Sprintf("%.0f", cfg.Drop*100),
+			mode,
+			fmt.Sprintf("%.1f", res.SuccessRate()),
+			fmt.Sprintf("%d", res.Stats.Retries),
+			fmt.Sprintf("%d", res.Stats.Rerouted),
+			fmt.Sprintf("%d", res.Injected),
+		)
+	}
+	return t, nil
+}

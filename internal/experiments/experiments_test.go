@@ -31,7 +31,7 @@ func runQuick(t *testing.T, id string) *Table {
 func TestRegistryComplete(t *testing.T) {
 	want := []string{
 		"5", "6a", "6b", "7", "8", "9", "10", "11a", "11b", "12a", "12b",
-		"kl", "peeridx", "workloads", "exact", "padding", "flood", "dht", "join", "capacity", "vnodes",
+		"kl", "peeridx", "workloads", "exact", "padding", "flood", "dht", "join", "capacity", "vnodes", "churn",
 	}
 	for _, id := range want {
 		if _, ok := Lookup(id); !ok {

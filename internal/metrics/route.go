@@ -1,0 +1,77 @@
+package metrics
+
+import "sync/atomic"
+
+// RouteStats counts failure-handling events on the query path: lookups
+// issued, lookups that could not complete, hops rerouted around suspect
+// nodes, and transport-level retries. One RouteStats is typically shared
+// by a peer's chord node and its retrying transport so a single snapshot
+// describes the whole path. All methods are safe for concurrent use and
+// tolerate a nil receiver, so call sites never need to guard against
+// metrics being disabled.
+type RouteStats struct {
+	lookups       atomic.Uint64
+	failedLookups atomic.Uint64
+	rerouted      atomic.Uint64
+	retries       atomic.Uint64
+}
+
+// AddLookup records one lookup issued.
+func (s *RouteStats) AddLookup() {
+	if s != nil {
+		s.lookups.Add(1)
+	}
+}
+
+// AddFailedLookup records a lookup that returned an error.
+func (s *RouteStats) AddFailedLookup() {
+	if s != nil {
+		s.failedLookups.Add(1)
+	}
+}
+
+// AddReroute records one hop routed around an unreachable node.
+func (s *RouteStats) AddReroute() {
+	if s != nil {
+		s.rerouted.Add(1)
+	}
+}
+
+// AddRetry records one transport-level retry.
+func (s *RouteStats) AddRetry() {
+	if s != nil {
+		s.retries.Add(1)
+	}
+}
+
+// RouteSnapshot is a consistent-enough point-in-time copy of RouteStats
+// (each counter is read atomically; the set is not a transaction).
+type RouteSnapshot struct {
+	Lookups       uint64
+	FailedLookups uint64
+	Rerouted      uint64
+	Retries       uint64
+}
+
+// Snapshot returns the current counter values. A nil RouteStats yields a
+// zero snapshot.
+func (s *RouteStats) Snapshot() RouteSnapshot {
+	if s == nil {
+		return RouteSnapshot{}
+	}
+	return RouteSnapshot{
+		Lookups:       s.lookups.Load(),
+		FailedLookups: s.failedLookups.Load(),
+		Rerouted:      s.rerouted.Load(),
+		Retries:       s.retries.Load(),
+	}
+}
+
+// SuccessRate returns the percentage of lookups that completed, or 100
+// when none were issued.
+func (s RouteSnapshot) SuccessRate() float64 {
+	if s.Lookups == 0 {
+		return 100
+	}
+	return 100 * float64(s.Lookups-s.FailedLookups) / float64(s.Lookups)
+}

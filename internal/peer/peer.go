@@ -292,15 +292,15 @@ func (p *Peer) Lookup(rel, attribute string, q rangeset.Range, cache bool) (Look
 		if err != nil {
 			return res, fmt.Errorf("peer: route to bucket %08x: %w", id, err)
 		}
-		owners[i] = owner
 		res.Hops = append(res.Hops, hops)
 
-		resp, err := p.call(owner, FindBestReq{
+		owner, resp, err := p.callOwner(id, owner, FindBestReq{
 			ID: id, Relation: rel, Attribute: attribute, Range: q, Measure: p.cfg.Measure,
 		})
 		if err != nil {
 			return res, err
 		}
+		owners[i] = owner
 		fb, ok := resp.(FindBestResp)
 		if !ok {
 			return res, transport.BadRequest(resp)
@@ -313,7 +313,7 @@ func (p *Peer) Lookup(rel, attribute string, q rangeset.Range, cache bool) (Look
 	exact := res.Found && res.Match.Partition.Range == q
 	if cache && !exact {
 		for i, id := range ids {
-			_, err := p.call(owners[i], StoreReq{
+			_, _, err := p.callOwner(id, owners[i], StoreReq{
 				ID: id,
 				Partition: store.Partition{
 					Relation: rel, Attribute: attribute, Range: q, Holder: p.Addr(),
@@ -345,7 +345,7 @@ func (p *Peer) Publish(part store.Partition) ([]int, error) {
 			return hops, fmt.Errorf("peer: route to bucket %08x: %w", id, err)
 		}
 		hops = append(hops, h)
-		if _, err := p.call(owner, StoreReq{ID: id, Partition: part}); err != nil {
+		if _, _, err := p.callOwner(id, owner, StoreReq{ID: id, Partition: part}); err != nil {
 			return hops, err
 		}
 	}
@@ -358,6 +358,27 @@ func (p *Peer) call(to chord.Ref, req any) (any, error) {
 		return p.Handle(req)
 	}
 	return p.caller.Call(to.Addr, req)
+}
+
+// callOwner sends req to the resolved owner of bucket id. When the owner
+// became unreachable between resolution and the call (it crashed, or the
+// lookup raced a churn event) and the node is fault tolerant, the owner
+// is marked suspect and the bucket re-resolved once: responsibility for
+// its arc has passed to the next live successor, which — with replication
+// enabled — already holds a copy of its descriptors. Returns the ref that
+// actually answered.
+func (p *Peer) callOwner(id uint32, owner chord.Ref, req any) (chord.Ref, any, error) {
+	resp, err := p.call(owner, req)
+	if err == nil || !p.node.FaultTolerant() || !transport.Retryable(err) {
+		return owner, resp, err
+	}
+	p.node.MarkSuspect(owner.ID)
+	next, _, lerr := p.node.Lookup(id)
+	if lerr != nil || next.ID == owner.ID {
+		return owner, nil, err
+	}
+	resp, err = p.call(next, req)
+	return next, resp, err
 }
 
 // --- Local partition data (the holder side of data fetches) ---

@@ -404,3 +404,43 @@ func TestLookupRejectsUnhashableRanges(t *testing.T) {
 		t.Errorf("legal maximal range rejected: %v", err)
 	}
 }
+
+// TestLookupSurvivesOwnerCrash covers the query-side failure path: an
+// identifier's owner crashes after descriptors were cached there; the
+// querying peer must mark it suspect, re-resolve the bucket to the
+// successor that inherited the arc, and complete the lookup — matching
+// via the surviving owners rather than erroring out.
+func TestLookupSurvivesOwnerCrash(t *testing.T) {
+	peers, net := testCluster(t, 12, Config{})
+	q := rangeset.Range{Lo: 30, Hi: 50}
+	if _, err := peers[0].Lookup("R", "a", q, true); err != nil {
+		t.Fatal(err)
+	}
+	querier := peers[5]
+	var victim chord.Ref
+	for _, id := range querier.Identifiers(q) {
+		owner, _, err := querier.Node().Lookup(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if owner.ID != querier.Node().ID() && owner.ID != peers[0].Node().ID() {
+			victim = owner
+			break
+		}
+	}
+	if victim.IsZero() {
+		t.Skip("no crashable owner distinct from querier and publisher")
+	}
+	net.SetDown(victim.Addr, true)
+
+	lr, err := querier.Lookup("R", "a", q, false)
+	if err != nil {
+		t.Fatalf("lookup with crashed owner %s: %v", victim, err)
+	}
+	if !lr.Found {
+		t.Error("surviving owners had the descriptor but lookup found nothing")
+	}
+	if !querier.Node().Suspect(victim.ID) {
+		t.Error("crashed owner not marked suspect")
+	}
+}

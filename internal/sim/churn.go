@@ -24,10 +24,11 @@ func (c *Cluster) Join() (*peer.Peer, error) {
 	for _, p := range c.Peers {
 		ids[p.Node().ID()] = true
 	}
+	caller := c.peerCaller()
 	var joiner *peer.Peer
 	for attempt := 0; ; attempt++ {
 		addr := fmt.Sprintf("join-%d-%d", len(c.Peers), attempt)
-		p, err := peer.New(addr, c.Net, c.cfg.Peer)
+		p, err := peer.New(addr, caller, c.cfg.Peer)
 		if err != nil {
 			return nil, err
 		}

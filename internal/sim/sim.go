@@ -23,6 +23,11 @@ type ClusterConfig struct {
 	N int
 	// Peer is applied to every peer; Peer.Scheme is required.
 	Peer peer.Config
+	// WrapCaller, when set, wraps each peer's view of the network before
+	// the peer is built — e.g. with transport.NewFaultCaller for fault
+	// injection or transport.NewRetryCaller for resilience. Called once
+	// per peer with the shared in-memory network as the inner caller.
+	WrapCaller func(inner transport.Caller) transport.Caller
 }
 
 // Cluster is an in-memory system of N peers on a converged chord ring.
@@ -45,11 +50,12 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 	c := &Cluster{Net: transport.NewMemory(), cfg: cfg}
 	seen := make(map[chord.ID]bool, cfg.N)
 	for i := 0; i < cfg.N; i++ {
+		caller := c.peerCaller()
 		var p *peer.Peer
 		var err error
 		for attempt := 0; ; attempt++ {
 			addr := fmt.Sprintf("10.%d.%d.%d:%d", i>>16&0xff, i>>8&0xff, i&0xff, 4000+attempt)
-			p, err = peer.New(addr, c.Net, cfg.Peer)
+			p, err = peer.New(addr, caller, cfg.Peer)
 			if err != nil {
 				return nil, err
 			}
@@ -69,6 +75,14 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 		return nil, err
 	}
 	return c, nil
+}
+
+// peerCaller builds one peer's view of the network.
+func (c *Cluster) peerCaller() transport.Caller {
+	if c.cfg.WrapCaller != nil {
+		return c.cfg.WrapCaller(c.Net)
+	}
+	return c.Net
 }
 
 // N returns the cluster size.

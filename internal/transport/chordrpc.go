@@ -2,6 +2,7 @@ package transport
 
 import (
 	"errors"
+	"fmt"
 	"strings"
 
 	"p2prange/internal/chord"
@@ -22,8 +23,13 @@ type (
 	NotifyReq struct{ Self chord.Ref }
 	// PingReq checks liveness.
 	PingReq struct{}
+	// SuccessorListReq asks a node for its successor list, used to route
+	// around failed nodes mid-lookup.
+	SuccessorListReq struct{}
 	// RefResp carries a node reference back.
 	RefResp struct{ Ref chord.Ref }
+	// RefsResp carries an ordered list of node references back.
+	RefsResp struct{ Refs []chord.Ref }
 	// OKResp acknowledges a request with no payload.
 	OKResp struct{}
 )
@@ -31,7 +37,8 @@ type (
 func init() {
 	for _, v := range []any{
 		SuccessorReq{}, PredecessorReq{}, ClosestPrecedingReq{},
-		FindSuccessorReq{}, NotifyReq{}, PingReq{}, RefResp{}, OKResp{},
+		FindSuccessorReq{}, NotifyReq{}, PingReq{}, SuccessorListReq{},
+		RefResp{}, RefsResp{}, OKResp{},
 	} {
 		RegisterType(v)
 	}
@@ -88,8 +95,23 @@ func (c ChordClient) Ping(addr string) error {
 	return mapChordErr(err)
 }
 
+// SuccessorList implements chord.Client.
+func (c ChordClient) SuccessorList(addr string) ([]chord.Ref, error) {
+	resp, err := c.Caller.Call(addr, SuccessorListReq{})
+	if err != nil {
+		return nil, mapChordErr(err)
+	}
+	rr, ok := resp.(RefsResp)
+	if !ok {
+		return nil, BadRequest(resp)
+	}
+	return rr.Refs, nil
+}
+
 // mapChordErr restores sentinel chord errors that crossed the wire as
-// strings so callers can errors.Is them.
+// strings so callers can errors.Is them, and classifies transport-level
+// delivery failures as chord.ErrUnreachable so the routing layer can
+// treat the target as suspect rather than the lookup as failed.
 func mapChordErr(err error) error {
 	if err == nil {
 		return nil
@@ -97,6 +119,9 @@ func mapChordErr(err error) error {
 	var remote *RemoteError
 	if errors.As(err, &remote) && strings.Contains(remote.Msg, chord.ErrNoPredecessor.Error()) {
 		return chord.ErrNoPredecessor
+	}
+	if Retryable(err) {
+		return fmt.Errorf("%w: %w", chord.ErrUnreachable, err)
 	}
 	return err
 }
@@ -122,6 +147,9 @@ func DispatchChord(h chord.Handler, req any) (resp any, handled bool, err error)
 		return OKResp{}, true, h.HandleNotify(r.Self)
 	case PingReq:
 		return OKResp{}, true, h.HandlePing()
+	case SuccessorListReq:
+		refs, err := h.HandleSuccessorList()
+		return RefsResp{Refs: refs}, true, err
 	default:
 		return nil, false, nil
 	}

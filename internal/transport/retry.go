@@ -1,0 +1,91 @@
+package transport
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+
+	"p2prange/internal/metrics"
+)
+
+// RetryConfig parameterizes a RetryCaller.
+type RetryConfig struct {
+	// Attempts is the total number of tries per call (default 3).
+	Attempts int
+	// BaseDelay is the pause before the first retry; it doubles on each
+	// subsequent retry up to MaxDelay, with ±50% jitter. Zero means no
+	// pause — appropriate for in-memory simulations; live deployments
+	// should set a small delay so the ring has time to repair.
+	BaseDelay time.Duration
+	// MaxDelay caps the exponential backoff (default 1s when BaseDelay is
+	// set).
+	MaxDelay time.Duration
+	// Seed makes the jitter deterministic; 0 seeds from 1.
+	Seed int64
+	// Stats counts retries when non-nil.
+	Stats *metrics.RouteStats
+}
+
+// RetryCaller wraps a Caller with bounded retries and exponential
+// backoff plus jitter. Only transport-level failures (see Retryable) are
+// retried: every request in this system is idempotent at the protocol
+// level, but a handler error is a definitive answer from a live node and
+// retrying it cannot help. Safe for concurrent use.
+type RetryCaller struct {
+	inner Caller
+	cfg   RetryConfig
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// NewRetryCaller wraps inner with the given retry policy.
+func NewRetryCaller(inner Caller, cfg RetryConfig) *RetryCaller {
+	if cfg.Attempts <= 0 {
+		cfg.Attempts = 3
+	}
+	if cfg.MaxDelay <= 0 {
+		cfg.MaxDelay = time.Second
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	return &RetryCaller{inner: inner, cfg: cfg, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Call implements Caller: forward to the wrapped caller, retrying
+// transport-level failures up to Attempts times.
+func (r *RetryCaller) Call(addr string, req any) (any, error) {
+	delay := r.cfg.BaseDelay
+	var lastErr error
+	for attempt := 0; attempt < r.cfg.Attempts; attempt++ {
+		if attempt > 0 {
+			r.cfg.Stats.AddRetry()
+			if delay > 0 {
+				time.Sleep(r.jitter(delay))
+				delay *= 2
+				if delay > r.cfg.MaxDelay {
+					delay = r.cfg.MaxDelay
+				}
+			}
+		}
+		resp, err := r.inner.Call(addr, req)
+		if err == nil || !Retryable(err) {
+			return resp, err
+		}
+		lastErr = err
+	}
+	return nil, lastErr
+}
+
+// jitter spreads d over [d/2, 3d/2) so synchronized failures do not
+// produce synchronized retry storms.
+func (r *RetryCaller) jitter(d time.Duration) time.Duration {
+	r.mu.Lock()
+	f := 0.5 + r.rng.Float64()
+	r.mu.Unlock()
+	return time.Duration(float64(d) * f)
+}
+
+var _ Caller = (*RetryCaller)(nil)

@@ -3,7 +3,6 @@ package transport
 import (
 	"encoding/gob"
 	"errors"
-	"fmt"
 	"io"
 	"net"
 	"sync"
@@ -111,84 +110,126 @@ func (s *TCPServer) Close() error {
 	return err
 }
 
-// TCPCaller is the client side of the TCP transport. It keeps one pooled
-// connection per remote address, re-dialing on failure. Safe for
-// concurrent use; concurrent calls to the same address serialize on its
-// connection.
+// DefaultPoolSize is the per-address connection pool size used when
+// TCPCaller.PoolSize is zero. A handful of connections lets concurrent
+// calls to one peer proceed in parallel instead of serializing whole
+// round trips behind a single socket.
+const DefaultPoolSize = 4
+
+// TCPCaller is the client side of the TCP transport. It keeps a small
+// pool of connections per remote address, dialing lazily and re-dialing
+// after failures. Safe for concurrent use; up to PoolSize calls to the
+// same address proceed in parallel, further calls wait for a free
+// connection. Transport-level failures are classified with ErrNetwork so
+// retry layers can distinguish them from handler errors.
 type TCPCaller struct {
 	// DialTimeout bounds connection establishment (default 3s).
 	DialTimeout time.Duration
 	// CallTimeout bounds a single request/response round trip (default 5s).
 	CallTimeout time.Duration
+	// PoolSize is the number of connections kept per remote address
+	// (default DefaultPoolSize). Set before the first Call.
+	PoolSize int
 
-	mu    sync.Mutex
-	conns map[string]*tcpConn
+	mu     sync.Mutex
+	pools  map[string]chan *tcpConn
+	closed bool
 }
 
+// tcpConn is one pooled connection slot. A slot is owned exclusively by
+// the goroutine that received it from the pool channel, so no lock is
+// needed; the connection inside may be nil (not yet dialed or reset).
 type tcpConn struct {
-	mu   sync.Mutex
 	conn net.Conn
 	enc  *gob.Encoder
 	dec  *gob.Decoder
 }
 
-// NewTCPCaller returns a caller with default timeouts.
+// NewTCPCaller returns a caller with default timeouts and pool size.
 func NewTCPCaller() *TCPCaller {
 	return &TCPCaller{
 		DialTimeout: 3 * time.Second,
 		CallTimeout: 5 * time.Second,
-		conns:       make(map[string]*tcpConn),
+		PoolSize:    DefaultPoolSize,
+		pools:       make(map[string]chan *tcpConn),
 	}
 }
 
-func (c *TCPCaller) get(addr string) (*tcpConn, error) {
+// pool returns the connection pool for addr, creating it on first use.
+func (c *TCPCaller) pool(addr string) (chan *tcpConn, error) {
 	c.mu.Lock()
-	tc, ok := c.conns[addr]
-	if !ok {
-		tc = &tcpConn{}
-		c.conns[addr] = tc
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil, ErrCallerClosed
 	}
-	c.mu.Unlock()
+	p, ok := c.pools[addr]
+	if !ok {
+		size := c.PoolSize
+		if size <= 0 {
+			size = DefaultPoolSize
+		}
+		p = make(chan *tcpConn, size)
+		for i := 0; i < size; i++ {
+			p <- &tcpConn{}
+		}
+		c.pools[addr] = p
+	}
+	return p, nil
+}
 
-	tc.mu.Lock() // held until the call completes; released by caller
+// Call implements Caller over TCP. A transport-level failure invalidates
+// the pooled connection so the next call on that slot re-dials.
+func (c *TCPCaller) Call(addr string, req any) (any, error) {
+	pool, err := c.pool(addr)
+	if err != nil {
+		return nil, err
+	}
+	tc := <-pool
+	defer func() {
+		// If Close ran while this call was in flight, drop the connection
+		// instead of returning a live socket to a closed caller.
+		c.mu.Lock()
+		if c.closed {
+			tc.reset()
+		}
+		c.mu.Unlock()
+		pool <- tc
+	}()
 	if tc.conn == nil {
 		conn, err := net.DialTimeout("tcp", addr, c.DialTimeout)
 		if err != nil {
-			tc.mu.Unlock()
-			return nil, fmt.Errorf("transport: dial %s: %w", addr, err)
+			return nil, netErrf("transport: dial %s: %w", addr, err)
 		}
+		// Re-check closed under the lock before keeping the fresh
+		// connection: a Close that raced the dial must not leak it.
+		c.mu.Lock()
+		if c.closed {
+			c.mu.Unlock()
+			conn.Close()
+			return nil, ErrCallerClosed
+		}
+		c.mu.Unlock()
 		tc.conn = conn
 		tc.enc = gob.NewEncoder(conn)
 		tc.dec = gob.NewDecoder(conn)
 	}
-	return tc, nil
-}
-
-// Call implements Caller over TCP. A transport-level failure invalidates
-// the pooled connection so the next call re-dials.
-func (c *TCPCaller) Call(addr string, req any) (any, error) {
-	tc, err := c.get(addr)
-	if err != nil {
-		return nil, err
-	}
-	defer tc.mu.Unlock()
 	if c.CallTimeout > 0 {
 		if err := tc.conn.SetDeadline(time.Now().Add(c.CallTimeout)); err != nil {
 			tc.reset()
-			return nil, err
+			return nil, netErrf("transport: deadline for %s: %w", addr, err)
 		}
 	}
 	if err := tc.enc.Encode(envelope{Body: req}); err != nil {
 		tc.reset()
-		return nil, fmt.Errorf("transport: send to %s: %w", addr, err)
+		return nil, netErrf("transport: send to %s: %w", addr, err)
 	}
 	var resp envelope
 	if err := tc.dec.Decode(&resp); err != nil {
 		tc.reset()
 		if errors.Is(err, io.EOF) {
-			err = fmt.Errorf("transport: %s closed connection", addr)
+			return nil, netErrf("transport: %s closed connection", addr)
 		}
-		return nil, err
+		return nil, netErrf("transport: receive from %s: %w", addr, err)
 	}
 	if resp.Err != "" {
 		return resp.Body, &RemoteError{Msg: resp.Err}
@@ -196,7 +237,7 @@ func (c *TCPCaller) Call(addr string, req any) (any, error) {
 	return resp.Body, nil
 }
 
-// reset drops the broken connection; tc.mu must be held.
+// reset drops the broken connection; the caller must own the slot.
 func (tc *tcpConn) reset() {
 	if tc.conn != nil {
 		tc.conn.Close()
@@ -206,16 +247,34 @@ func (tc *tcpConn) reset() {
 	}
 }
 
-// Close closes all pooled connections.
+// Close marks the caller closed and closes every idle pooled connection.
+// Calls already in flight finish (or time out) and drop their connection
+// on return; subsequent calls fail with ErrCallerClosed.
 func (c *TCPCaller) Close() {
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	for _, tc := range c.conns {
-		tc.mu.Lock()
-		tc.reset()
-		tc.mu.Unlock()
+	if c.closed {
+		c.mu.Unlock()
+		return
 	}
-	c.conns = make(map[string]*tcpConn)
+	c.closed = true
+	pools := c.pools
+	c.mu.Unlock()
+	for _, p := range pools {
+		var drained []*tcpConn
+	drain:
+		for len(drained) < cap(p) {
+			select {
+			case tc := <-p:
+				tc.reset()
+				drained = append(drained, tc)
+			default:
+				break drain
+			}
+		}
+		for _, tc := range drained {
+			p <- tc // keep the slots so waiting callers wake and bail
+		}
+	}
 }
 
 var _ Caller = (*TCPCaller)(nil)

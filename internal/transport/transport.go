@@ -27,6 +27,35 @@ var ErrUnknownAddr = errors.New("transport: unknown address")
 // ErrBadRequest is returned by handlers for unrecognized request types.
 var ErrBadRequest = errors.New("transport: bad request")
 
+// ErrNetwork marks transport-level delivery failures — dial errors,
+// dropped or closed connections, timeouts, injected faults — as opposed
+// to errors returned by the remote handler. The distinction drives retry
+// policy: a network failure on an idempotent request is safe to retry,
+// while a handler error is a definitive answer from a live node.
+var ErrNetwork = errors.New("transport: network failure")
+
+// ErrCallerClosed is returned for calls issued after a caller's Close.
+var ErrCallerClosed = errors.New("transport: caller closed")
+
+// netError wraps a transport-level failure so it matches ErrNetwork under
+// errors.Is while preserving the cause chain.
+type netError struct{ cause error }
+
+func (e *netError) Error() string   { return e.cause.Error() }
+func (e *netError) Unwrap() []error { return []error{ErrNetwork, e.cause} }
+
+// netErrf builds an ErrNetwork-classified error.
+func netErrf(format string, args ...any) error {
+	return &netError{cause: fmt.Errorf(format, args...)}
+}
+
+// Retryable reports whether err is a transport-level delivery failure
+// that a bounded retry may recover from. Handler errors (including
+// RemoteError) are not retryable: the request reached a live node.
+func Retryable(err error) bool {
+	return errors.Is(err, ErrNetwork) || errors.Is(err, ErrUnknownAddr)
+}
+
 // RemoteError is how a handler-side failure surfaces at the caller when
 // the transport cannot carry the original error value (TCP). The in-memory
 // transport returns handler errors unwrapped.

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"p2prange/internal/chord"
+	"p2prange/internal/metrics"
 	"p2prange/internal/minhash"
 	"p2prange/internal/peer"
 	"p2prange/internal/store"
@@ -32,6 +33,18 @@ type LiveConfig struct {
 	// Stabilize controls the chord maintenance cadence; zero values use
 	// chord defaults.
 	Stabilize chord.MaintainerConfig
+	// Retry controls transport-level retries. Zero values mean 3 attempts
+	// with 25ms base backoff; set DisableRetry to turn retries off.
+	Retry        transport.RetryConfig
+	DisableRetry bool
+	// DisableRerouting turns off failure-aware chord routing (lookups fail
+	// on the first unreachable hop instead of detouring via successor
+	// lists). Exposed for fault-model ablations.
+	DisableRerouting bool
+	// Fault, when non-nil, injects deterministic faults (drops, delays,
+	// outages) between this peer and the network — for resilience testing
+	// on real TCP clusters.
+	Fault *transport.FaultConfig
 }
 
 func (c LiveConfig) withDefaults() LiveConfig {
@@ -54,6 +67,8 @@ type LivePeer struct {
 	server     *transport.TCPServer
 	caller     *transport.TCPCaller
 	maintainer *chord.Maintainer
+	stats      *metrics.RouteStats
+	fault      *transport.FaultCaller
 }
 
 // StartPeer launches a live peer listening on listenAddr (host:port; the
@@ -72,12 +87,34 @@ func StartPeer(listenAddr, bootstrap string, cfg LiveConfig) (*LivePeer, error) 
 		ln.Close()
 		return nil, err
 	}
-	caller := transport.NewTCPCaller()
+	stats := &metrics.RouteStats{}
+	tcp := transport.NewTCPCaller()
+	caller := transport.Caller(tcp)
+	var fault *transport.FaultCaller
+	if cfg.Fault != nil {
+		fault = transport.NewFaultCaller(caller, *cfg.Fault)
+		caller = fault
+	}
+	if !cfg.DisableRetry {
+		rc := cfg.Retry
+		if rc.BaseDelay <= 0 {
+			rc.BaseDelay = 25 * time.Millisecond
+		}
+		if rc.Seed == 0 {
+			rc.Seed = int64(chord.HashAddr(addr))
+		}
+		rc.Stats = stats
+		caller = transport.NewRetryCaller(caller, rc)
+	}
 	p, err := peer.New(addr, caller, peer.Config{
 		Scheme:   raw.Compiled(),
 		Measure:  cfg.Measure,
 		Schema:   cfg.Schema,
 		Replicas: cfg.Replicas,
+		Chord: chord.Config{
+			DisableRerouting: cfg.DisableRerouting,
+			Stats:            stats,
+		},
 	})
 	if err != nil {
 		ln.Close()
@@ -85,8 +122,10 @@ func StartPeer(listenAddr, bootstrap string, cfg LiveConfig) (*LivePeer, error) 
 	}
 	lp := &LivePeer{
 		peer:   p,
-		caller: caller,
+		caller: tcp,
 		server: transport.ServeTCP(ln, p.Handle),
+		stats:  stats,
+		fault:  fault,
 	}
 	if bootstrap != "" {
 		if err := p.Node().Join(bootstrap); err != nil {
@@ -150,6 +189,14 @@ func (lp *LivePeer) StoredPartitions() int { return lp.peer.Store().Len() }
 
 // Successor exposes the chord successor for health checks.
 func (lp *LivePeer) Successor() chord.Ref { return lp.peer.Node().Successor() }
+
+// RouteStats snapshots the peer's failure counters: lookups, failed
+// lookups, reroutes around dead nodes, and transport retries.
+func (lp *LivePeer) RouteStats() metrics.RouteSnapshot { return lp.stats.Snapshot() }
+
+// FaultInjector returns the fault-injection layer when LiveConfig.Fault
+// was set, for toggling outages at runtime; nil otherwise.
+func (lp *LivePeer) FaultInjector() *transport.FaultCaller { return lp.fault }
 
 // WaitStable blocks until the peer's successor and predecessor links look
 // settled (predecessor known and successor reachable) or the timeout
