@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check bench
+.PHONY: build test check bench bench-all
 
 build:
 	$(GO) build ./...
@@ -8,11 +8,25 @@ build:
 test:
 	$(GO) test ./...
 
-# check is the pre-merge gate: static analysis plus the full suite under
-# the race detector.
+# check is the pre-merge gate: formatting, static analysis, then the full
+# suite under the race detector.
 check:
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
+	fi
 	$(GO) vet ./...
 	$(GO) test -race ./...
 
+# bench runs the signature-pipeline benchmarks (the performance contract:
+# BenchmarkMinWiseSign vs BenchmarkMinWiseNaive and friends) with
+# allocation stats, recording machine-readable output for comparison
+# across commits.
 bench:
+	$(GO) test -json -run '^$$' -bench . -benchmem ./internal/minhash \
+		> BENCH_minhash.json
+	@$(GO) run ./cmd/rangebench -fig sig -quick
+
+# bench-all runs every benchmark in the repo once, as a smoke test.
+bench-all:
 	$(GO) test -bench=. -benchtime=1x ./...

@@ -46,6 +46,8 @@ func main() {
 		retries    = flag.Int("retries", 3, "RPC attempts per call (1 disables transport retries)")
 		noReroute  = flag.Bool("no-reroute", false, "disable failure-aware chord routing (fault-model ablation)")
 		drop       = flag.Float64("drop", 0, "inject per-RPC drop probability in [0,1] (resilience testing)")
+		sigCache   = flag.Int("sigcache", 256, "signature-cache capacity (ranges); 0 disables")
+		workers    = flag.Int("hashworkers", 0, "goroutines signing large ranges; <=1 is serial")
 	)
 	var publishes publishFlags
 	flag.Var(&publishes, "publish",
@@ -65,6 +67,8 @@ func main() {
 		Retry:            transport.RetryConfig{Attempts: *retries},
 		DisableRetry:     *retries <= 1,
 		DisableRerouting: *noReroute,
+		SigCache:         *sigCache,
+		HashWorkers:      *workers,
 	}
 	if *drop > 0 {
 		cfg.Fault = &transport.FaultConfig{Drop: *drop}
@@ -102,9 +106,10 @@ func main() {
 		select {
 		case <-tick:
 			rs := lp.RouteStats()
-			log.Printf("peerd: successor=%s stored=%d lookups=%d success=%.1f%% retries=%d reroutes=%d",
+			ss := lp.SigStats()
+			log.Printf("peerd: successor=%s stored=%d lookups=%d success=%.1f%% retries=%d reroutes=%d sighits=%.0f%%",
 				lp.Successor(), lp.StoredPartitions(),
-				rs.Lookups, rs.SuccessRate(), rs.Retries, rs.Rerouted)
+				rs.Lookups, rs.SuccessRate(), rs.Retries, rs.Rerouted, ss.HitRate())
 		case sig := <-sigc:
 			log.Printf("peerd: %v: leaving ring", sig)
 			if err := lp.Leave(); err != nil {

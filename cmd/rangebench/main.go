@@ -28,6 +28,9 @@ func main() {
 		seed   = flag.Int64("seed", 42, "random seed")
 		format = flag.String("format", "table", "output format: table | csv")
 		outDir = flag.String("o", "", "write each experiment to <dir>/<id>.<ext> instead of stdout")
+
+		sigCache    = flag.Int("sigcache", 0, "per-peer signature-cache capacity (ranges); 0 disables caching")
+		hashWorkers = flag.Int("hashworkers", 0, "goroutines signing the k*l hash functions of large ranges; <=1 is serial")
 	)
 	flag.Parse()
 
@@ -45,6 +48,8 @@ func main() {
 		params = experiments.QuickDefaults()
 	}
 	params.Seed = *seed
+	params.SigCache = *sigCache
+	params.HashWorkers = *hashWorkers
 
 	ids := []string{*fig}
 	if strings.EqualFold(*fig, "all") {

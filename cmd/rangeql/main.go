@@ -25,14 +25,16 @@ import (
 
 func main() {
 	var (
-		peers = flag.Int("peers", 32, "number of simulated peers")
-		exec  = flag.String("e", "", "execute one statement and exit")
-		seed  = flag.Int64("seed", 1, "system seed")
-		pad   = flag.Float64("pad", 0, "query padding fraction (e.g. 0.2)")
+		peers    = flag.Int("peers", 32, "number of simulated peers")
+		exec     = flag.String("e", "", "execute one statement and exit")
+		seed     = flag.Int64("seed", 1, "system seed")
+		pad      = flag.Float64("pad", 0, "query padding fraction (e.g. 0.2)")
+		sigCache = flag.Int("sigcache", 256, "per-peer signature-cache capacity (ranges); 0 disables")
+		workers  = flag.Int("hashworkers", 0, "goroutines signing large ranges; <=1 is serial")
 	)
 	flag.Parse()
 
-	sys, err := buildSystem(*peers, *seed, *pad)
+	sys, err := buildSystem(*peers, *seed, *pad, *sigCache, *workers)
 	if err != nil {
 		log.Fatalf("rangeql: %v", err)
 	}
@@ -125,14 +127,16 @@ func dumpOrLoad(sys *p2prange.System, line string) error {
 	}
 }
 
-func buildSystem(peers int, seed int64, pad float64) (*p2prange.System, error) {
+func buildSystem(peers int, seed int64, pad float64, sigCache, workers int) (*p2prange.System, error) {
 	sys, err := p2prange.New(p2prange.Config{
-		Peers:   peers,
-		Family:  p2prange.ApproxMinWise,
-		Measure: p2prange.MatchContainment,
-		PadFrac: pad,
-		Seed:    seed,
-		Schema:  relation.MedicalSchema(),
+		Peers:       peers,
+		Family:      p2prange.ApproxMinWise,
+		Measure:     p2prange.MatchContainment,
+		PadFrac:     pad,
+		Seed:        seed,
+		Schema:      relation.MedicalSchema(),
+		SigCache:    sigCache,
+		HashWorkers: workers,
 	})
 	if err != nil {
 		return nil, err
@@ -174,6 +178,9 @@ func run(sys *p2prange.System, sql string) error {
 	fmt.Printf("%d row(s)", len(res.Rows))
 	for k, r := range res.ScanRecall {
 		fmt.Printf("  [%s recall %.2f]", k, r)
+	}
+	if sc := res.SigCache; sc != nil && sc.Total() > 0 {
+		fmt.Printf("  [sig hits %d extends %d misses %d]", sc.Hits, sc.Extends, sc.Misses)
 	}
 	fmt.Println()
 	return nil

@@ -184,8 +184,8 @@ func (s *scriptClient) ClosestPreceding(addr string, id ID) (Ref, error) {
 func (s *scriptClient) FindSuccessor(addr string, id ID) (Ref, error) {
 	return Ref{}, ErrUnreachable
 }
-func (s *scriptClient) Notify(addr string, self Ref) error      { return nil }
-func (s *scriptClient) Ping(addr string) error                  { return nil }
+func (s *scriptClient) Notify(addr string, self Ref) error       { return nil }
+func (s *scriptClient) Ping(addr string) error                   { return nil }
 func (s *scriptClient) SuccessorList(addr string) ([]Ref, error) { return nil, ErrUnreachable }
 
 // TestLookupStaleStateHopAccounting is the regression for the hop

@@ -1,10 +1,3 @@
-// Package chord implements the Chord distributed hash table (Stoica et
-// al., SIGCOMM 2001) over a 32-bit identifier space, as the paper uses it:
-// peers hash to the ring by SHA-1 of their address, data partition
-// identifiers map to the first peer clockwise (successor), and lookups
-// route via finger tables in O(log N) hops. The package provides both a
-// live protocol (join / stabilize / notify / fix-fingers over a pluggable
-// transport) and a fast static-ring constructor for large simulations.
 package chord
 
 import (

@@ -97,12 +97,12 @@ type Config struct {
 // Maintainer (maintain.go) drives stabilization for live deployments, and
 // BuildStableRing (static.go) installs converged state for simulations.
 type Node struct {
-	ref       Ref
-	client    Client
-	nsucc     int
-	reroute   bool
-	susTTL    time.Duration
-	stats     *metrics.RouteStats
+	ref     Ref
+	client  Client
+	nsucc   int
+	reroute bool
+	susTTL  time.Duration
+	stats   *metrics.RouteStats
 
 	mu      sync.RWMutex
 	pred    Ref

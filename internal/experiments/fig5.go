@@ -20,44 +20,68 @@ func init() {
 // per-element permutation cost. Absolute times are host-dependent; the
 // reproduced shape is linear growth in range size and the family ordering
 // linear << approximate min-wise < min-wise independent.
+//
+// Alongside each naive column the table reports the batched signature
+// pipeline (minhash.Signer: compiled tables, single tiled pass over the
+// range, optionally -hashworkers goroutines) on the same ranges — the
+// production path every peer uses, byte-identical identifiers, so the
+// pair quantifies exactly what the pipeline buys per family.
 func Fig5(p Params) (*Table, error) {
+	note := fmt.Sprintf("sizes %v, %d reps each; naive = uncompiled per-bit permutations, batch = signature pipeline",
+		p.TimingSizes, p.TimingReps)
+	if p.HashWorkers > 1 {
+		note += fmt.Sprintf(", %d hash workers", p.HashWorkers)
+	}
 	t := &Table{
 		ID:      "fig5",
 		Title:   "Execution times for the hash function families (ms per range, 100 hash functions)",
-		Columns: []string{"size", "linear", "approx-min-wise", "min-wise"},
-		Notes: fmt.Sprintf("sizes %v, %d reps each; naive (uncompiled) permutations",
-			p.TimingSizes, p.TimingReps),
+		Columns: []string{"size", "linear", "linear-batch", "approx-min-wise", "approx-batch", "min-wise", "min-wise-batch", "min-wise-speedup"},
+		Notes:   note,
 	}
 	rng := rand.New(rand.NewSource(p.Seed))
 	schemes := make(map[minhash.Family]*minhash.Scheme)
+	signers := make(map[minhash.Family]*minhash.Signer)
 	for _, f := range minhash.Families() {
 		s, err := minhash.NewDefaultScheme(f, rng)
 		if err != nil {
 			return nil, err
 		}
 		schemes[f] = s
+		// No signature cache here: the figure times the cold hashing path,
+		// and a cache would answer every rep after the first for free.
+		signers[f] = minhash.NewSigner(s, minhash.WithWorkers(p.HashWorkers))
 	}
 	for _, size := range p.TimingSizes {
 		row := []string{fmt.Sprintf("%d", size)}
+		var naiveMinWise, batchMinWise float64
 		for _, f := range []minhash.Family{minhash.Linear, minhash.ApproxMinWise, minhash.MinWise} {
-			ms := timeScheme(schemes[f], int64(size), p.TimingReps, p.Seed)
-			row = append(row, fmt.Sprintf("%.4f", ms))
+			naive := timeHasher(schemes[f], int64(size), p.TimingReps, p.Seed)
+			batch := timeHasher(signers[f], int64(size), p.TimingReps, p.Seed)
+			row = append(row, fmt.Sprintf("%.4f", naive), fmt.Sprintf("%.4f", batch))
+			if f == minhash.MinWise {
+				naiveMinWise, batchMinWise = naive, batch
+			}
 		}
+		speedup := "-"
+		if batchMinWise > 0 {
+			speedup = fmt.Sprintf("%.1fx", naiveMinWise/batchMinWise)
+		}
+		row = append(row, speedup)
 		t.AddRow(row...)
 	}
 	return t, nil
 }
 
-// timeScheme measures the mean milliseconds to compute all identifiers of
-// a range of the given size.
-func timeScheme(s *minhash.Scheme, size int64, reps int, seed int64) float64 {
+// timeHasher measures the mean milliseconds to compute all identifiers of
+// a range of the given size through h.
+func timeHasher(h minhash.Hasher, size int64, reps int, seed int64) float64 {
 	rng := rand.New(rand.NewSource(seed + size))
 	var total time.Duration
 	for i := 0; i < reps; i++ {
 		lo := rng.Int63n(100000)
 		q := rangeset.Range{Lo: lo, Hi: lo + size - 1}
 		start := time.Now()
-		_ = s.Identifiers(q)
+		_ = h.Identifiers(q)
 		total += time.Since(start)
 	}
 	return float64(total.Microseconds()) / float64(reps) / 1000

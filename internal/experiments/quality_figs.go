@@ -26,8 +26,13 @@ func runQuality(p Params, f minhash.Family, measure store.Measure, padFrac float
 		return nil, err
 	}
 	c, err := sim.NewCluster(sim.ClusterConfig{
-		N:    p.ClusterN,
-		Peer: peer.Config{Scheme: scheme, Measure: measure},
+		N: p.ClusterN,
+		Peer: peer.Config{
+			Scheme:      scheme,
+			Measure:     measure,
+			SigCache:    p.SigCache,
+			HashWorkers: p.HashWorkers,
+		},
 	})
 	if err != nil {
 		return nil, err

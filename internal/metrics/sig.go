@@ -1,0 +1,92 @@
+package metrics
+
+import "sync/atomic"
+
+// SigStats counts signature-pipeline events on the hashing path: cache
+// hits (a range's signature was reused verbatim), extensions (a cached
+// subrange's signature was grown by folding only the delta values),
+// misses (a full signing pass ran), and cache evictions. One SigStats is
+// typically shared by every signer whose totals should aggregate — all
+// peers of a simulated cluster, or a single live peer. All methods are
+// safe for concurrent use and tolerate a nil receiver, so call sites
+// never need to guard against metrics being disabled.
+type SigStats struct {
+	hits      atomic.Uint64
+	misses    atomic.Uint64
+	extends   atomic.Uint64
+	evictions atomic.Uint64
+}
+
+// AddHit records one exact signature-cache hit.
+func (s *SigStats) AddHit() {
+	if s != nil {
+		s.hits.Add(1)
+	}
+}
+
+// AddMiss records one full signing pass (no reusable cached signature).
+func (s *SigStats) AddMiss() {
+	if s != nil {
+		s.misses.Add(1)
+	}
+}
+
+// AddExtend records one incremental extension of a cached signature.
+func (s *SigStats) AddExtend() {
+	if s != nil {
+		s.extends.Add(1)
+	}
+}
+
+// AddEviction records one signature evicted from a bounded cache.
+func (s *SigStats) AddEviction() {
+	if s != nil {
+		s.evictions.Add(1)
+	}
+}
+
+// SigSnapshot is a point-in-time copy of SigStats (each counter is read
+// atomically; the set is not a transaction).
+type SigSnapshot struct {
+	Hits      uint64
+	Misses    uint64
+	Extends   uint64
+	Evictions uint64
+}
+
+// Snapshot returns the current counter values. A nil SigStats yields a
+// zero snapshot.
+func (s *SigStats) Snapshot() SigSnapshot {
+	if s == nil {
+		return SigSnapshot{}
+	}
+	return SigSnapshot{
+		Hits:      s.hits.Load(),
+		Misses:    s.misses.Load(),
+		Extends:   s.extends.Load(),
+		Evictions: s.evictions.Load(),
+	}
+}
+
+// Total returns the number of signing requests the snapshot covers.
+func (s SigSnapshot) Total() uint64 { return s.Hits + s.Misses + s.Extends }
+
+// HitRate returns the percentage of signing requests that avoided a full
+// rehash (exact hits plus extensions), or 0 when none were issued.
+func (s SigSnapshot) HitRate() float64 {
+	if t := s.Total(); t > 0 {
+		return 100 * float64(s.Hits+s.Extends) / float64(t)
+	}
+	return 0
+}
+
+// Sub returns the counter deltas since prev, for per-operation accounting
+// over a cumulative stats object.
+func (s SigSnapshot) Sub(prev SigSnapshot) SigSnapshot {
+	return SigSnapshot{
+		Hits:      s.Hits - prev.Hits,
+		Misses:    s.Misses - prev.Misses,
+		Extends:   s.Extends - prev.Extends,
+		Evictions: s.Evictions - prev.Evictions,
+	}
+}

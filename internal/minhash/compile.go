@@ -28,6 +28,10 @@ func (c *compiledPerm) Family() Family { return c.family }
 // Compile returns a semantically identical but faster permutation.
 // Bit permutations compile to byte tables; linear permutations are
 // already a multiply and return unchanged.
+//
+// Compile is idempotent: an already-compiled permutation (or one with no
+// compiled form) is returned as-is, never re-tabulated, so callers may
+// compile defensively without allocating.
 func Compile(p Permutation) Permutation {
 	switch p.(type) {
 	case *FullPermutation, *ApproxPermutation:
@@ -46,14 +50,41 @@ func Compile(p Permutation) Permutation {
 // Compiled returns a scheme whose permutations are all compiled; the
 // group structure and key material are unchanged, so identifiers are
 // bit-for-bit identical to the uncompiled scheme's.
+//
+// Compilation happens at most once per scheme: the compiled form is
+// cached on first use and every later call returns the same *Scheme, and
+// calling Compiled on an already-compiled scheme returns the receiver.
+// Sharing one scheme (and therefore one set of byte tables) across many
+// peers and signers is the intended use.
 func (s *Scheme) Compiled() *Scheme {
-	out := &Scheme{family: s.family, groups: make([]*Group, len(s.groups))}
-	for i, g := range s.groups {
-		ng := &Group{perms: make([]Permutation, len(g.perms))}
-		for j, p := range g.perms {
-			ng.perms[j] = Compile(p)
+	s.compileOnce.Do(func() {
+		if s.isCompiled() {
+			s.compiled = s
+			return
 		}
-		out.groups[i] = ng
+		out := &Scheme{family: s.family, groups: make([]*Group, len(s.groups))}
+		for i, g := range s.groups {
+			ng := &Group{perms: make([]Permutation, len(g.perms))}
+			for j, p := range g.perms {
+				ng.perms[j] = Compile(p)
+			}
+			out.groups[i] = ng
+		}
+		s.compiled = out
+	})
+	return s.compiled
+}
+
+// isCompiled reports whether every permutation is already in its fastest
+// form (compiled tables, or a family Compile passes through unchanged).
+func (s *Scheme) isCompiled() bool {
+	for _, g := range s.groups {
+		for _, p := range g.perms {
+			switch p.(type) {
+			case *FullPermutation, *ApproxPermutation:
+				return false
+			}
+		}
 	}
-	return out
+	return true
 }

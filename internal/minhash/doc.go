@@ -1,0 +1,49 @@
+// Package minhash implements the locality sensitive hashing machinery of
+// the paper "Approximate Range Selection Queries in Peer-to-Peer Systems"
+// (Gupta, Agrawal, El Abbadi, CIDR 2003): hash a query range — viewed as
+// the set of integers it contains — so that similar ranges collide.
+//
+// # Permutation families (paper Sec. 3.3, Fig. 3)
+//
+// A Permutation is a keyed bijection on 32-bit integers; the min-hash of a
+// range Q under permutation pi is min{pi(x) : x in Q}. Three families are
+// provided, matching the paper's Fig. 5 comparison:
+//
+//   - MinWise: min-wise independent bit permutations realized as the
+//     paper's Fig. 3 keyed bit shuffle (several XOR/rotate rounds). Most
+//     accurate, most expensive.
+//   - ApproxMinWise: the cheap "approximate" variant that runs only the
+//     first iteration of the shuffle.
+//   - Linear: pi(x) = a*x + b mod p for a prime p > 2^32. Cheapest, but
+//     only approximately min-wise; Fig. 7 shows its failure mode.
+//
+// # The (k, l) group scheme (Sec. 4)
+//
+// Scheme draws l groups of k permutations. A range's k min-hashes within a
+// group XOR together (per the paper's pseudocode) into one 32-bit group
+// identifier, giving l identifiers per range. Similar ranges agree on at
+// least one identifier with high probability; the identifiers double as
+// Chord positions (see internal/chord). DefaultK=20 and DefaultL=5 are the
+// paper's evaluation parameters. ExactScheme is the Sec. 3.1 exact-match
+// baseline (hash the range endpoints, no similarity).
+//
+// # The signature pipeline (Fig. 5 performance)
+//
+// Naively each of the k*l permutations walks the range independently.
+// Signer is the batched production path: permutations are compiled to
+// byte-table form (Compile/Scheme.Compiled, four 256-entry lookups per
+// Apply), and one tiled pass over the range folds the running minima of
+// all k*l permutations simultaneously into a Signature. Identifiers
+// computed through the pipeline are bit-identical to the naive path.
+//
+// A Signature stores per-permutation minima rather than the XOR-folded
+// identifiers, and minima are monotone under range growth — so a
+// signature for [a,b] extends to [a',b'] ⊇ [a,b] by hashing only the
+// delta (Signer.Extend). Signer exploits that with an optional LRU cache
+// of signatures keyed by range: repeated ranges hit exactly, and padded
+// probes (Fig. 10 pads each query by 20%, so query and probe overlap
+// heavily) pay only for the padding. WithWorkers splits the k*l
+// permutations across goroutines for large ranges; results are identical
+// because each worker owns a disjoint slice of minima. Cache and worker
+// counters surface through internal/metrics.SigStats.
+package minhash

@@ -1,10 +1,3 @@
-// Package minhash implements the locality sensitive hashing machinery of
-// the paper: min-wise independent permutations realized as keyed bit
-// shuffles (paper Fig. 3), the cheap "approximate" first-iteration variant,
-// and linear permutations pi(x) = a*x + b mod p. On top of the permutation
-// families it provides the (k, l) group scheme of Section 4: l groups of k
-// permutations whose min-hashes are combined (XOR, per the paper's
-// pseudocode) into l 32-bit identifiers per range.
 package minhash
 
 import (

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync"
 
 	"p2prange/internal/rangeset"
 )
@@ -109,6 +110,11 @@ func (g *Group) IdentifierSet(s rangeset.Set) ID {
 type Scheme struct {
 	family Family
 	groups []*Group
+
+	// compileOnce/compiled cache the byte-table form so Compiled() is
+	// idempotent and allocation-free after the first call (see compile.go).
+	compileOnce sync.Once
+	compiled    *Scheme
 }
 
 // Default scheme parameters from the paper (Sec. 5.1).

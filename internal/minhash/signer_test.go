@@ -1,0 +1,266 @@
+package minhash
+
+import (
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+
+	"p2prange/internal/metrics"
+	"p2prange/internal/rangeset"
+)
+
+// randRange draws a range of size in [1, maxSize] starting in [0, 100000).
+func randRange(rng *rand.Rand, maxSize int64) rangeset.Range {
+	lo := rng.Int63n(100000)
+	return rangeset.Range{Lo: lo, Hi: lo + rng.Int63n(maxSize)}
+}
+
+// TestSignerGoldenEquivalence pins the pipeline's core contract: for every
+// hash family, the batched signer — plain, cached, and parallel — produces
+// identifiers bit-identical to the naive per-permutation Scheme path.
+func TestSignerGoldenEquivalence(t *testing.T) {
+	for _, f := range Families() {
+		f := f
+		t.Run(f.String(), func(t *testing.T) {
+			scheme, err := NewScheme(f, 4, 3, rand.New(rand.NewSource(7)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			signers := map[string]*Signer{
+				"plain":    NewSigner(scheme),
+				"cached":   NewSigner(scheme, WithSigCache(16)),
+				"parallel": NewSigner(scheme, WithWorkers(4)),
+			}
+			rng := rand.New(rand.NewSource(11))
+			for i := 0; i < 40; i++ {
+				q := randRange(rng, 700)
+				want := scheme.Identifiers(q)
+				for name, s := range signers {
+					if got := s.Identifiers(q); !reflect.DeepEqual(got, want) {
+						t.Fatalf("%s signer: identifiers of %s = %08x, naive scheme = %08x", name, q, got, want)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestExtendEqualsFromScratch is the property test for incremental
+// signing: for random ranges split at random points, signing the prefix
+// and extending to the whole equals signing the whole from scratch.
+func TestExtendEqualsFromScratch(t *testing.T) {
+	scheme, err := NewScheme(ApproxMinWise, 5, 4, rand.New(rand.NewSource(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewSigner(scheme)
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 200; i++ {
+		full := randRange(rng, 1000)
+		// Random subrange [subLo, subHi] of full.
+		subLo := full.Lo + rng.Int63n(full.Size())
+		subHi := subLo + rng.Int63n(full.Hi-subLo+1)
+		sub := rangeset.Range{Lo: subLo, Hi: subHi}
+
+		base := s.Sign(sub)
+		got, err := s.Extend(base, full)
+		if err != nil {
+			t.Fatalf("Extend(%s, %s): %v", sub, full, err)
+		}
+		want := s.Sign(full)
+		if got.Range() != full {
+			t.Fatalf("extended signature covers %s, want %s", got.Range(), full)
+		}
+		if !reflect.DeepEqual(got.mins, want.mins) {
+			t.Fatalf("extend %s -> %s: minima differ from scratch signing", sub, full)
+		}
+		if !reflect.DeepEqual(got.Identifiers(), want.Identifiers()) {
+			t.Fatalf("extend %s -> %s: identifiers differ from scratch signing", sub, full)
+		}
+		// The base signature must be untouched by the extension.
+		if base.Range() != sub {
+			t.Fatalf("Extend mutated its input's range to %s", base.Range())
+		}
+	}
+}
+
+func TestExtendRejectsNonSuperset(t *testing.T) {
+	scheme, err := NewScheme(Linear, 2, 2, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewSigner(scheme)
+	sig := s.Sign(rangeset.Range{Lo: 10, Hi: 20})
+	for _, to := range []rangeset.Range{
+		{Lo: 11, Hi: 30}, // cuts the low end
+		{Lo: 0, Hi: 19},  // cuts the high end
+		{Lo: 21, Hi: 30}, // disjoint
+		{Lo: 30, Hi: 20}, // invalid
+	} {
+		if _, err := s.Extend(sig, to); err == nil {
+			t.Errorf("Extend to %s: want error, got nil", to)
+		}
+	}
+	// A same-range extension is a no-op copy.
+	same, err := s.Extend(sig, sig.Range())
+	if err != nil {
+		t.Fatalf("Extend to same range: %v", err)
+	}
+	if !reflect.DeepEqual(same.mins, sig.mins) {
+		t.Error("same-range extension changed minima")
+	}
+}
+
+// TestSignerCachePinned is the regression test for cache behavior: the
+// exact sequence of hits, misses, extensions, and evictions is pinned.
+func TestSignerCachePinned(t *testing.T) {
+	scheme, err := NewScheme(ApproxMinWise, 3, 2, rand.New(rand.NewSource(9)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := &metrics.SigStats{}
+	s := NewSigner(scheme, WithSigCache(2), WithSigStats(st))
+
+	q1 := rangeset.Range{Lo: 100, Hi: 200}
+	q1pad := rangeset.Range{Lo: 90, Hi: 210} // padded probe containing q1
+	q2 := rangeset.Range{Lo: 5000, Hi: 5100}
+	q3 := rangeset.Range{Lo: 9000, Hi: 9050}
+
+	naive := scheme.Identifiers
+	steps := []struct {
+		q    rangeset.Range
+		want metrics.SigSnapshot
+	}{
+		{q1, metrics.SigSnapshot{Misses: 1}},                                       // cold
+		{q1, metrics.SigSnapshot{Misses: 1, Hits: 1}},                              // exact hit
+		{q1pad, metrics.SigSnapshot{Misses: 1, Hits: 1, Extends: 1}},               // delta only
+		{q2, metrics.SigSnapshot{Misses: 2, Hits: 1, Extends: 1, Evictions: 1}},    // q1 evicted (LRU)
+		{q1pad, metrics.SigSnapshot{Misses: 2, Hits: 2, Extends: 1, Evictions: 1}}, // still cached
+		{q3, metrics.SigSnapshot{Misses: 3, Hits: 2, Extends: 1, Evictions: 2}},    // q2 evicted
+		{q1pad, metrics.SigSnapshot{Misses: 3, Hits: 3, Extends: 1, Evictions: 2}}, // survived again
+		{q1, metrics.SigSnapshot{Misses: 4, Hits: 3, Extends: 1, Evictions: 3}},    // shrink = miss
+	}
+	for i, step := range steps {
+		if got, want := s.Identifiers(step.q), naive(step.q); !reflect.DeepEqual(got, want) {
+			t.Fatalf("step %d: identifiers of %s = %08x, naive = %08x", i, step.q, got, want)
+		}
+		if got := st.Snapshot(); got != step.want {
+			t.Fatalf("step %d (%s): stats = %+v, want %+v", i, step.q, got, step.want)
+		}
+	}
+}
+
+// TestSignerCacheConcurrent hammers one cached signer from many
+// goroutines (exercised under -race by `make check`): results must stay
+// bit-identical to the naive path and every request must be accounted as
+// exactly one hit, miss, or extension.
+func TestSignerCacheConcurrent(t *testing.T) {
+	scheme, err := NewScheme(MinWise, 3, 2, rand.New(rand.NewSource(21)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := &metrics.SigStats{}
+	s := NewSigner(scheme, WithSigCache(32), WithSigStats(st))
+
+	// A small pool of overlapping ranges so goroutines collide on cache
+	// entries, plus per-goroutine unique ranges so eviction churns.
+	shared := []rangeset.Range{
+		{Lo: 0, Hi: 150}, {Lo: 0, Hi: 200}, {Lo: 50, Hi: 180}, {Lo: 10, Hi: 120},
+	}
+	want := make([][]ID, len(shared))
+	for i, q := range shared {
+		want[i] = scheme.Identifiers(q)
+	}
+
+	const goroutines = 8
+	const iters = 60
+	var wg sync.WaitGroup
+	errc := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(100 + g)))
+			for i := 0; i < iters; i++ {
+				si := rng.Intn(len(shared))
+				if got := s.Identifiers(shared[si]); !reflect.DeepEqual(got, want[si]) {
+					errc <- errMismatch(shared[si])
+					return
+				}
+				lo := int64(g*10000 + i)
+				s.Sign(rangeset.Range{Lo: lo, Hi: lo + 40})
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+	snap := st.Snapshot()
+	if got, wantN := snap.Total(), uint64(goroutines*iters*2); got != wantN {
+		t.Fatalf("accounted %d signing requests (%+v), want %d", got, snap, wantN)
+	}
+	if snap.Hits == 0 {
+		t.Error("expected cache hits on the shared ranges, got none")
+	}
+}
+
+type errMismatch rangeset.Range
+
+func (e errMismatch) Error() string {
+	return "cached identifiers diverged from naive path for " + rangeset.Range(e).String()
+}
+
+// TestCompileIdempotent pins the compilation contract: Compile returns
+// already-compiled (and uncompilable) permutations unchanged, and
+// Scheme.Compiled caches its result and is a fixpoint.
+func TestCompileIdempotent(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	full := NewFullPermutation(rng)
+	once := Compile(full)
+	if Compile(once) != once {
+		t.Error("Compile(Compile(p)) allocated a new permutation")
+	}
+	lin := NewLinearPermutation(rng)
+	if Compile(lin) != Permutation(lin) {
+		t.Error("Compile changed a linear permutation")
+	}
+
+	scheme, err := NewScheme(MinWise, 2, 2, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1 := scheme.Compiled()
+	if c2 := scheme.Compiled(); c2 != c1 {
+		t.Error("Scheme.Compiled allocated a second compiled scheme")
+	}
+	if c1.Compiled() != c1 {
+		t.Error("Compiled() of a compiled scheme is not itself")
+	}
+	// An all-linear scheme needs no compilation at all.
+	linScheme, err := NewScheme(Linear, 2, 2, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if linScheme.Compiled() != linScheme {
+		t.Error("Compiled() of an uncompilable scheme is not the receiver")
+	}
+}
+
+// TestSignerHasher pins that Signer satisfies Hasher and reports the
+// scheme's shape.
+func TestSignerHasher(t *testing.T) {
+	scheme, err := NewDefaultScheme(Linear, rand.New(rand.NewSource(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var h Hasher = NewSigner(scheme)
+	if h.L() != DefaultL {
+		t.Fatalf("L() = %d, want %d", h.L(), DefaultL)
+	}
+	if got := len(h.Identifiers(rangeset.Range{Lo: 1, Hi: 10})); got != DefaultL {
+		t.Fatalf("len(Identifiers) = %d, want %d", got, DefaultL)
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"sync"
 
 	"p2prange/internal/chord"
+	"p2prange/internal/metrics"
 	"p2prange/internal/minhash"
 	"p2prange/internal/rangeset"
 	"p2prange/internal/relation"
@@ -98,6 +99,19 @@ type Config struct {
 	// least-recently-matched descriptor evicts. 0 means unbounded (the
 	// paper's model).
 	CacheCapacity int
+	// SigCache bounds the peer's signature cache: an LRU of per-range
+	// LSH signatures reused across lookups, so repeated and padded
+	// ranges skip rehashing (or pay only for the padding delta). 0
+	// disables it. Effective only when Scheme is a *minhash.Scheme.
+	SigCache int
+	// HashWorkers signs large ranges with that many goroutines (split
+	// across the k*l hash functions). 0 or 1 keeps signing serial — the
+	// default, so simulated timing stays single-threaded-deterministic.
+	// Identifiers are identical either way.
+	HashWorkers int
+	// SigStats, when set, receives signature-pipeline counters; share one
+	// instance across peers to aggregate cluster-wide totals.
+	SigStats *metrics.SigStats
 }
 
 // AuxHandler extends a peer's protocol with additional message types
@@ -111,6 +125,7 @@ type Peer struct {
 	node   *chord.Node
 	store  *store.Store
 	caller transport.Caller
+	signer *minhash.Signer // non-nil when Scheme went through the pipeline
 
 	mu   sync.RWMutex
 	data map[string]*relation.Partition // materialized partitions by Key()
@@ -132,6 +147,22 @@ func New(addr string, caller transport.Caller, cfg Config) (*Peer, error) {
 		store:  st,
 		caller: caller,
 		data:   make(map[string]*relation.Partition),
+	}
+	// Route LSH hashing through the signature pipeline: batched compiled
+	// evaluation always (identifiers are bit-identical to the naive
+	// path), plus the signature cache and worker pool when configured.
+	if sch, ok := cfg.Scheme.(*minhash.Scheme); ok {
+		stats := cfg.SigStats
+		if stats == nil {
+			stats = &metrics.SigStats{} // per-peer counters by default
+		}
+		p.signer = minhash.NewSigner(sch,
+			minhash.WithSigCache(cfg.SigCache),
+			minhash.WithWorkers(cfg.HashWorkers),
+			minhash.WithSigStats(stats))
+		p.cfg.Scheme = p.signer
+	} else if sg, ok := cfg.Scheme.(*minhash.Signer); ok {
+		p.signer = sg
 	}
 	p.node = chord.NewNode(addr, transport.ChordClient{Caller: caller}, cfg.Chord)
 	return p, nil
@@ -238,6 +269,16 @@ func (p *Peer) Call(to chord.Ref, req any) (any, error) {
 // Identifiers returns the l LSH identifiers of q.
 func (p *Peer) Identifiers(q rangeset.Range) []uint32 {
 	return p.cfg.Scheme.Identifiers(q)
+}
+
+// SigStats returns a snapshot of the peer's signature-pipeline counters
+// (zero when the peer hashes outside the pipeline, e.g. the exact-match
+// baseline, or when no stats sink is configured).
+func (p *Peer) SigStats() metrics.SigSnapshot {
+	if p.signer == nil {
+		return metrics.SigSnapshot{}
+	}
+	return p.signer.SigStats()
 }
 
 // LookupResult is the outcome of a Section 4 range lookup.

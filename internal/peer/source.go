@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"p2prange/internal/metrics"
 	"p2prange/internal/query"
 	"p2prange/internal/rangeset"
 	"p2prange/internal/relation"
@@ -41,6 +42,12 @@ type DataSource struct {
 }
 
 var _ query.Source = (*DataSource)(nil)
+var _ query.SigStatsProvider = (*DataSource)(nil)
+
+// SigStats implements query.SigStatsProvider by exposing the querying
+// peer's signature-pipeline counters, so SQL executions can report how
+// much of their leaf hashing the signature cache absorbed.
+func (s *DataSource) SigStats() metrics.SigSnapshot { return s.Peer.SigStats() }
 
 // Fetch implements query.Source.
 func (s *DataSource) Fetch(rel, attribute string, rg rangeset.Range) (*relation.Relation, rangeset.Range, error) {

@@ -1,8 +1,3 @@
-// Package rangeset provides integer range sets and the similarity measures
-// used throughout the system: Jaccard set similarity, containment
-// similarity, and recall. A Range is the value set of a single-attribute
-// selection predicate lo <= attr <= hi; a Set is a union of disjoint
-// ranges, used for padded and multi-interval extensions.
 package rangeset
 
 import (

@@ -1,9 +1,3 @@
-// Package store implements the per-peer partition store: hash buckets
-// keyed by 32-bit identifiers, each holding descriptors of cached data
-// partitions. A lookup locates the bucket for an identifier and picks the
-// best-matching partition under a similarity measure (Jaccard or
-// containment, paper Sec. 5.2). The store also offers the Section 5.3
-// extension: a peer-wide index across all buckets a peer owns.
 package store
 
 import (

@@ -1,7 +1,3 @@
-// Package transport provides the message transports peers communicate
-// over: an in-memory network for simulation and a TCP/gob network for live
-// clusters. Both expose the same Caller interface, so the chord protocol
-// and the partition lookup protocol are transport-agnostic.
 package transport
 
 import (

@@ -45,6 +45,14 @@ type LiveConfig struct {
 	// outages) between this peer and the network — for resilience testing
 	// on real TCP clusters.
 	Fault *transport.FaultConfig
+	// SigCache bounds this peer's signature cache (hashed ranges memoized
+	// and extended across lookups); 0 disables the cache — batched
+	// evaluation still applies. Purely local, so peers of one ring may
+	// differ.
+	SigCache int
+	// HashWorkers parallelizes signing across the k*l hash functions for
+	// large ranges; 0 or 1 keeps signing serial.
+	HashWorkers int
 }
 
 func (c LiveConfig) withDefaults() LiveConfig {
@@ -107,10 +115,12 @@ func StartPeer(listenAddr, bootstrap string, cfg LiveConfig) (*LivePeer, error) 
 		caller = transport.NewRetryCaller(caller, rc)
 	}
 	p, err := peer.New(addr, caller, peer.Config{
-		Scheme:   raw.Compiled(),
-		Measure:  cfg.Measure,
-		Schema:   cfg.Schema,
-		Replicas: cfg.Replicas,
+		Scheme:      raw.Compiled(),
+		Measure:     cfg.Measure,
+		Schema:      cfg.Schema,
+		Replicas:    cfg.Replicas,
+		SigCache:    cfg.SigCache,
+		HashWorkers: cfg.HashWorkers,
 		Chord: chord.Config{
 			DisableRerouting: cfg.DisableRerouting,
 			Stats:            stats,
@@ -193,6 +203,10 @@ func (lp *LivePeer) Successor() chord.Ref { return lp.peer.Node().Successor() }
 // RouteStats snapshots the peer's failure counters: lookups, failed
 // lookups, reroutes around dead nodes, and transport retries.
 func (lp *LivePeer) RouteStats() metrics.RouteSnapshot { return lp.stats.Snapshot() }
+
+// SigStats snapshots the peer's signature-pipeline counters (cache hits,
+// incremental extensions, misses, evictions).
+func (lp *LivePeer) SigStats() metrics.SigSnapshot { return lp.peer.SigStats() }
 
 // FaultInjector returns the fault-injection layer when LiveConfig.Fault
 // was set, for toggling outages at runtime; nil otherwise.
