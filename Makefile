@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check bench bench-all
+.PHONY: build test check linkcheck trace-demo bench bench-all
 
 build:
 	$(GO) build ./...
@@ -8,15 +8,26 @@ build:
 test:
 	$(GO) test ./...
 
-# check is the pre-merge gate: formatting, static analysis, then the full
-# suite under the race detector.
+# check is the pre-merge gate: formatting, static analysis, doc links,
+# then the full suite under the race detector.
 check:
 	@unformatted=$$(gofmt -l .); \
 	if [ -n "$$unformatted" ]; then \
 		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
 	fi
 	$(GO) vet ./...
+	$(MAKE) linkcheck
 	$(GO) test -race ./...
+
+# linkcheck verifies every relative link in the repo's markdown files.
+linkcheck:
+	$(GO) run ./tools/checklinks
+
+# trace-demo prints a hop-by-hop span tree for one query on a simulated
+# 8-peer ring — the quickest way to see the observability layer.
+trace-demo:
+	$(GO) run ./cmd/rangeql -peers 8 -trace \
+		-e "SELECT name FROM Patient WHERE 30 <= age AND age <= 50"
 
 # bench runs the signature-pipeline benchmarks (the performance contract:
 # BenchmarkMinWiseSign vs BenchmarkMinWiseNaive and friends) with

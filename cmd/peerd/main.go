@@ -8,12 +8,22 @@
 // Every peer of a ring must share -family/-k/-l/-scheme-seed (the LSH key
 // material). The daemon prints its chord identity and periodic status
 // lines, and exits cleanly on SIGINT/SIGTERM with a graceful leave.
+//
+// With -debug-addr the daemon also serves an HTTP debug endpoint:
+// /debug/vars (expvar JSON including the full p2prange metrics snapshot —
+// route.*, sig.*, chord.*, peer.*, transport.* families) and /debug/pprof
+// (the standard net/http/pprof profiles). See docs/OBSERVABILITY.md for
+// the metric catalogue and scraping examples.
 package main
 
 import (
+	"encoding/json"
+	"expvar"
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on DefaultServeMux
 	"os"
 	"os/signal"
 	"strconv"
@@ -22,6 +32,7 @@ import (
 	"time"
 
 	"p2prange"
+	"p2prange/internal/metrics"
 	"p2prange/internal/relation"
 	"p2prange/internal/transport"
 )
@@ -48,6 +59,7 @@ func main() {
 		drop       = flag.Float64("drop", 0, "inject per-RPC drop probability in [0,1] (resilience testing)")
 		sigCache   = flag.Int("sigcache", 256, "signature-cache capacity (ranges); 0 disables")
 		workers    = flag.Int("hashworkers", 0, "goroutines signing large ranges; <=1 is serial")
+		debugAddr  = flag.String("debug-addr", "", "serve /debug/vars (expvar) and /debug/pprof on this address (empty disables)")
 	)
 	var publishes publishFlags
 	flag.Var(&publishes, "publish",
@@ -78,6 +90,9 @@ func main() {
 		log.Fatalf("peerd: %v", err)
 	}
 	log.Printf("peerd: serving as %s", lp.Ref())
+	if *debugAddr != "" {
+		startDebugServer(*debugAddr, lp)
+	}
 	if *join != "" {
 		if lp.WaitStable(5 * time.Second) {
 			log.Printf("peerd: joined ring via %s; successor %s", *join, lp.Successor())
@@ -118,6 +133,41 @@ func main() {
 			return
 		}
 	}
+}
+
+// startDebugServer exposes the observability endpoints on addr: expvar's
+// /debug/vars carrying the full Default-registry snapshot under the
+// "p2prange" key plus peer identity/state under "peerd", and pprof's
+// /debug/pprof (registered by the net/http/pprof import).
+func startDebugServer(addr string, lp *p2prange.LivePeer) {
+	expvar.Publish("p2prange", expvar.Func(func() any {
+		return metrics.Default.Snapshot()
+	}))
+	expvar.Publish("peerd", expvar.Func(func() any {
+		rs := lp.RouteStats()
+		return map[string]any{
+			"ref":       lp.Ref().String(),
+			"successor": lp.Successor().String(),
+			"stored":    lp.StoredPartitions(),
+			"lookups":   rs.Lookups,
+			"retries":   rs.Retries,
+			"rerouted":  rs.Rerouted,
+		}
+	}))
+	// /metrics serves the bare registry snapshot for tools that do not
+	// want to peel the expvar envelope.
+	http.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(metrics.Default.Snapshot())
+	})
+	go func() {
+		log.Printf("peerd: debug endpoint on http://%s/debug/vars (pprof at /debug/pprof)", addr)
+		if err := http.ListenAndServe(addr, nil); err != nil {
+			log.Printf("peerd: debug server: %v", err)
+		}
+	}()
 }
 
 // publishSpec parses "Relation=file.csv:attribute:lo-hi", loads the CSV,

@@ -8,9 +8,16 @@
 //	rangebench -fig all         # everything (paper-scale, takes minutes)
 //	rangebench -fig all -quick  # reduced parameters, seconds
 //	rangebench -list            # available experiment ids
+//
+// With -metrics-out FILE, a JSON dump of the unified metrics registry is
+// written after the run: per-experiment counter deltas (what each figure
+// cost in lookups, hops, cache hits, transport calls) plus the final
+// cumulative snapshot. See docs/OBSERVABILITY.md and EXPERIMENTS.md for a
+// worked example.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -18,6 +25,7 @@ import (
 	"time"
 
 	"p2prange/internal/experiments"
+	"p2prange/internal/metrics"
 )
 
 func main() {
@@ -31,6 +39,7 @@ func main() {
 
 		sigCache    = flag.Int("sigcache", 0, "per-peer signature-cache capacity (ranges); 0 disables caching")
 		hashWorkers = flag.Int("hashworkers", 0, "goroutines signing the k*l hash functions of large ranges; <=1 is serial")
+		metricsOut  = flag.String("metrics-out", "", "write per-experiment metric deltas and the final snapshot to this JSON file")
 	)
 	flag.Parse()
 
@@ -55,28 +64,62 @@ func main() {
 	if strings.EqualFold(*fig, "all") {
 		ids = experiments.IDs()
 	}
+	dump := metricsDump{Experiments: make(map[string]metrics.Snapshot, len(ids))}
 	for _, id := range ids {
 		driver, ok := experiments.Lookup(id)
 		if !ok {
 			fmt.Fprintf(os.Stderr, "rangebench: unknown experiment %q (try -list)\n", id)
 			os.Exit(2)
 		}
+		before := metrics.Default.Snapshot()
 		start := time.Now()
 		table, err := driver(params)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "rangebench: %s: %v\n", id, err)
 			os.Exit(1)
 		}
+		elapsed := time.Since(start)
+		dump.Experiments[table.ID] = metrics.Default.Snapshot().Sub(before)
 		if err := emit(table, *format, *outDir); err != nil {
 			fmt.Fprintf(os.Stderr, "rangebench: %v\n", err)
 			os.Exit(1)
 		}
 		if *outDir == "" {
-			fmt.Printf("   (%s in %s)\n\n", table.ID, time.Since(start).Round(time.Millisecond))
+			fmt.Printf("   (%s in %s)\n\n", table.ID, elapsed.Round(time.Millisecond))
 		} else {
-			fmt.Printf("%s done in %s\n", table.ID, time.Since(start).Round(time.Millisecond))
+			fmt.Printf("%s done in %s\n", table.ID, elapsed.Round(time.Millisecond))
 		}
 	}
+	if *metricsOut != "" {
+		dump.Total = metrics.Default.Snapshot()
+		if err := writeMetrics(*metricsOut, dump); err != nil {
+			fmt.Fprintf(os.Stderr, "rangebench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("metrics written to %s\n", *metricsOut)
+	}
+}
+
+// metricsDump is the -metrics-out JSON document: what each experiment
+// contributed to every counter family, plus the run's cumulative totals.
+type metricsDump struct {
+	Experiments map[string]metrics.Snapshot `json:"experiments"`
+	Total       metrics.Snapshot            `json:"total"`
+}
+
+// writeMetrics writes the dump as indented JSON.
+func writeMetrics(path string, dump metricsDump) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(dump); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // emit writes one table to stdout or to <outDir>/<id>.<ext>.

@@ -6,9 +6,14 @@
 //
 //	rangeql                        # interactive shell
 //	rangeql -e "SELECT ... "       # one-shot
+//	rangeql -trace -e "SELECT .."  # one-shot with a per-query hop tree
 //
 // Meta commands: \plan <sql> shows the physical plan, \loads shows the
-// per-peer stored-descriptor counts, \q quits.
+// per-peer stored-descriptor counts, \trace toggles per-query tracing,
+// \q quits. With tracing on, every query prints a span tree — one branch
+// per scan leaf, one sub-branch per LSH probe with its chord hops,
+// retries, and detours — plus the timing of each stage (see
+// docs/OBSERVABILITY.md for how to read it).
 package main
 
 import (
@@ -31,6 +36,7 @@ func main() {
 		pad      = flag.Float64("pad", 0, "query padding fraction (e.g. 0.2)")
 		sigCache = flag.Int("sigcache", 256, "per-peer signature-cache capacity (ranges); 0 disables")
 		workers  = flag.Int("hashworkers", 0, "goroutines signing large ranges; <=1 is serial")
+		traceOn  = flag.Bool("trace", false, "print a per-query span tree (hops, retries, cache outcomes)")
 	)
 	flag.Parse()
 
@@ -40,14 +46,14 @@ func main() {
 	}
 
 	if *exec != "" {
-		if err := run(sys, *exec); err != nil {
+		if err := run(sys, *exec, *traceOn); err != nil {
 			log.Fatalf("rangeql: %v", err)
 		}
 		return
 	}
 
 	fmt.Printf("rangeql: %d peers, medical schema loaded (Patient, Diagnosis, Physician, Prescription)\n", *peers)
-	fmt.Println(`type SQL, or \plan <sql>, \loads, \dump <rel> <file>, \load <rel> <file>, \q`)
+	fmt.Println(`type SQL, or \plan <sql>, \loads, \trace, \dump <rel> <file>, \load <rel> <file>, \q`)
 	sc := bufio.NewScanner(os.Stdin)
 	for {
 		fmt.Print("rangeql> ")
@@ -61,6 +67,9 @@ func main() {
 			return
 		case line == `\loads`:
 			fmt.Println(sys.Loads())
+		case line == `\trace`:
+			*traceOn = !*traceOn
+			fmt.Printf("tracing %v\n", map[bool]string{true: "on", false: "off"}[*traceOn])
 		case strings.HasPrefix(line, `\plan `):
 			plan, err := sys.Plan(strings.TrimPrefix(line, `\plan `))
 			if err != nil {
@@ -73,7 +82,7 @@ func main() {
 				fmt.Println("error:", err)
 			}
 		default:
-			if err := run(sys, line); err != nil {
+			if err := run(sys, line, *traceOn); err != nil {
 				fmt.Println("error:", err)
 			}
 		}
@@ -153,8 +162,20 @@ func buildSystem(peers int, seed int64, pad float64, sigCache, workers int) (*p2
 	return sys, nil
 }
 
-func run(sys *p2prange.System, sql string) error {
-	res, err := sys.Query(sql)
+func run(sys *p2prange.System, sql string, traceOn bool) error {
+	var res *p2prange.QueryResult
+	var err error
+	if traceOn {
+		var tr *p2prange.Trace
+		res, tr, err = sys.QueryTraced(sql)
+		if tr != nil {
+			// The trace is printed even when execution failed partway: the
+			// hops recorded up to the failure are the diagnostic.
+			fmt.Print(tr.Tree(true))
+		}
+	} else {
+		res, err = sys.Query(sql)
+	}
 	if err != nil {
 		return err
 	}

@@ -1,10 +1,3 @@
-// Package can implements a Content-Addressable Network (Ratnasamy et al.,
-// SIGCOMM 2001) — the other DHT the paper cites as a possible substrate.
-// Nodes own hyper-rectangular zones of a d-dimensional unit torus; keys
-// hash to points; routing forwards greedily through zone neighbors toward
-// the target point in O(d·N^(1/d)) hops. The package exists as the
-// comparison substrate for the chord-vs-CAN routing experiment: same
-// identifiers, different overlay geometry.
 package can
 
 import (
@@ -13,6 +6,16 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+
+	"p2prange/internal/metrics"
+	"p2prange/internal/trace"
+)
+
+// The Default-registry can.* family, the CAN-side counterpart of
+// chord.hops for the substrate-comparison experiment.
+var (
+	metCANLookups = metrics.Default.Counter("can.lookups")
+	metCANHops    = metrics.Default.IntHistogram("can.hops")
 )
 
 // Zone is a half-open box [Lo[i], Hi[i]) per dimension of the unit torus.
@@ -232,6 +235,12 @@ func distToZone(p []float64, z Zone) float64 {
 // neighbor whose zone is closest to p; zones tile the torus, so progress
 // is guaranteed and the hop count is bounded by the node count.
 func (net *Network) Route(from *Node, p []float64) (*Node, int, error) {
+	return net.RouteTraced(from, p, nil)
+}
+
+// RouteTraced is Route recording each greedy forwarding step on sp.
+func (net *Network) RouteTraced(from *Node, p []float64, sp *trace.Span) (*Node, int, error) {
+	metCANLookups.Inc()
 	cur := from
 	hops := 0
 	for !cur.zone.Contains(p) {
@@ -247,9 +256,16 @@ func (net *Network) Route(from *Node, p []float64) (*Node, int, error) {
 		}
 		cur = best
 		hops++
+		if sp.On() {
+			sp.Eventf("hop", "node %d zone %s", cur.ID, cur.zone)
+		}
 		if hops > len(net.nodes) {
 			return nil, hops, fmt.Errorf("can: routing loop toward %v", p)
 		}
+	}
+	metCANHops.Observe(uint64(hops))
+	if sp.On() {
+		sp.Eventf("owner", "node %d hops=%d", cur.ID, hops)
 	}
 	return cur, hops, nil
 }
@@ -257,6 +273,11 @@ func (net *Network) Route(from *Node, p []float64) (*Node, int, error) {
 // Lookup routes from a node to the owner of a 32-bit identifier.
 func (net *Network) Lookup(from *Node, key uint32) (*Node, int, error) {
 	return net.Route(from, KeyToPoint(key, net.d))
+}
+
+// LookupTraced is Lookup recording the route on sp.
+func (net *Network) LookupTraced(from *Node, key uint32, sp *trace.Span) (*Node, int, error) {
+	return net.RouteTraced(from, KeyToPoint(key, net.d), sp)
 }
 
 // Volumes returns every node's zone volume (the load-balance metric).

@@ -3,12 +3,19 @@ package chord
 import (
 	"errors"
 	"fmt"
+
+	"p2prange/internal/metrics"
+	"p2prange/internal/trace"
 )
 
 // maxLookupSteps bounds iterative routing; with M=32 a correct ring never
 // needs more than M forwarding steps, so anything beyond that is a routing
 // loop caused by stale state.
 const maxLookupSteps = 2 * M
+
+// The Default-registry chord.* family: the per-lookup hop-count
+// distribution (the Fig. 12 quantity, live).
+var metChordHops = metrics.Default.IntHistogram("chord.hops")
 
 // Lookup resolves the node owning identifier id, routing iteratively from
 // this node via closest-preceding-finger queries (Stoica et al., Fig. 4).
@@ -23,16 +30,31 @@ const maxLookupSteps = 2 * M
 // supplied the pointer; the detour hops are included in the count. With
 // rerouting disabled the lookup fails with ErrUnreachable.
 func (n *Node) Lookup(id ID) (Ref, int, error) {
+	return n.LookupTraced(id, nil)
+}
+
+// LookupTraced is Lookup recording each forwarding step, suspect marking,
+// and detour on sp. A nil sp (tracing off) adds no work and no
+// allocations beyond Lookup itself.
+func (n *Node) LookupTraced(id ID, sp *trace.Span) (Ref, int, error) {
 	n.stats.AddLookup()
-	ref, hops, err := n.route(id)
+	ref, hops, err := n.route(id, sp)
 	if err != nil {
 		n.stats.AddFailedLookup()
+		if sp.On() {
+			sp.Eventf("error", "%v", err)
+		}
+		return ref, hops, err
+	}
+	metChordHops.Observe(uint64(hops))
+	if sp.On() {
+		sp.Eventf("owner", "%s hops=%d", ref, hops)
 	}
 	return ref, hops, err
 }
 
 // route is the iterative resolution loop behind Lookup.
-func (n *Node) route(id ID) (Ref, int, error) {
+func (n *Node) route(id ID, sp *trace.Span) (Ref, int, error) {
 	if n.Owns(id) {
 		return n.ref, 0, nil
 	}
@@ -49,7 +71,7 @@ func (n *Node) route(id ID) (Ref, int, error) {
 		} else {
 			succ, err = n.client.Successor(cur.Addr)
 			if err != nil {
-				owner, next, rerr := n.handleDeadHop(from, cur, id, err)
+				owner, next, rerr := n.handleDeadHop(from, cur, id, err, sp)
 				if rerr != nil {
 					return Ref{}, hops, fmt.Errorf("chord: lookup %s via %s: %w", FmtID(id), cur, rerr)
 				}
@@ -69,7 +91,7 @@ func (n *Node) route(id ID) (Ref, int, error) {
 				// The owner itself is suspected dead (e.g. a call to it
 				// just failed); its arc has passed to the next live
 				// successor, so detour instead of handing back a corpse.
-				owner, next, rerr := n.routeAround(cur, succ, id)
+				owner, next, rerr := n.routeAround(cur, succ, id, sp)
 				if rerr != nil {
 					return Ref{}, hops, fmt.Errorf("chord: lookup %s past %s: %w", FmtID(id), succ, rerr)
 				}
@@ -89,7 +111,7 @@ func (n *Node) route(id ID) (Ref, int, error) {
 			next, err = n.client.ClosestPreceding(cur.Addr, id)
 		}
 		if err != nil {
-			owner, alt, rerr := n.handleDeadHop(from, cur, id, err)
+			owner, alt, rerr := n.handleDeadHop(from, cur, id, err, sp)
 			if rerr != nil {
 				return Ref{}, hops, fmt.Errorf("chord: lookup %s via %s: %w", FmtID(id), cur, rerr)
 			}
@@ -115,11 +137,17 @@ func (n *Node) route(id ID) (Ref, int, error) {
 			from = cur
 			cur = succ
 			hops++
+			if sp.On() {
+				sp.Eventf("hop", "%s (successor walk)", cur)
+			}
 			continue
 		}
 		from = cur
 		cur = next
 		hops++
+		if sp.On() {
+			sp.Eventf("hop", "%s", cur)
+		}
 	}
 	return Ref{}, hops, fmt.Errorf("%w: routing loop resolving %s", ErrNotFound, FmtID(id))
 }
@@ -129,15 +157,18 @@ func (n *Node) route(id ID) (Ref, int, error) {
 // and picks a detour from from's successor list; either the detour entry
 // already owns id (owner is non-zero) or the lookup should continue from
 // next. Handler-side errors and disabled rerouting surface as rerr.
-func (n *Node) handleDeadHop(from, cur Ref, id ID, err error) (owner, next Ref, rerr error) {
+func (n *Node) handleDeadHop(from, cur Ref, id ID, err error, sp *trace.Span) (owner, next Ref, rerr error) {
 	if !errors.Is(err, ErrUnreachable) {
 		return Ref{}, Ref{}, err
 	}
 	n.MarkSuspect(cur.ID)
+	if sp.On() {
+		sp.Eventf("suspect", "%s unreachable", cur)
+	}
 	if !n.reroute {
 		return Ref{}, Ref{}, err
 	}
-	return n.routeAround(from, cur, id)
+	return n.routeAround(from, cur, id, sp)
 }
 
 // routeAround consults from's successor list for a live node to continue
@@ -146,7 +177,7 @@ func (n *Node) handleDeadHop(from, cur Ref, id ID, err error) (owner, next Ref, 
 // id ∈ (from, s] then s is the owner; otherwise the lookup resumes at s.
 // Each candidate is pinged before the detour commits to it — a reroute
 // must not hand back, or hop to, another corpse.
-func (n *Node) routeAround(from, dead Ref, id ID) (owner, next Ref, rerr error) {
+func (n *Node) routeAround(from, dead Ref, id ID, sp *trace.Span) (owner, next Ref, rerr error) {
 	n.stats.AddReroute()
 	var list []Ref
 	if from.ID == n.ref.ID {
@@ -160,6 +191,9 @@ func (n *Node) routeAround(from, dead Ref, id ID) (owner, next Ref, rerr error) 
 			}
 			// The pointer's source died too: fall back to our own list.
 			n.MarkSuspect(from.ID)
+			if sp.On() {
+				sp.Eventf("suspect", "%s unreachable", from)
+			}
 			from = n.ref
 			list = n.SuccessorList()
 		}
@@ -170,10 +204,19 @@ func (n *Node) routeAround(from, dead Ref, id ID) (owner, next Ref, rerr error) 
 		}
 		if s.ID != n.ref.ID && n.client.Ping(s.Addr) != nil {
 			n.MarkSuspect(s.ID)
+			if sp.On() {
+				sp.Eventf("suspect", "%s unreachable", s)
+			}
 			continue
 		}
 		if BetweenRightIncl(from.ID, s.ID, id) {
+			if sp.On() {
+				sp.Eventf("detour", "%s past %s (owns id)", s, dead)
+			}
 			return s, Ref{}, nil
+		}
+		if sp.On() {
+			sp.Eventf("detour", "%s past %s", s, dead)
 		}
 		return Ref{}, s, nil
 	}

@@ -204,12 +204,17 @@ func (n *Node) Stats() *metrics.RouteStats { return n.stats }
 // FaultTolerant reports whether failure-aware rerouting is enabled.
 func (n *Node) FaultTolerant() bool { return n.reroute }
 
+// metChordSuspects counts suspect markings process-wide (Default
+// registry), the live signal of how much churn routing is seeing.
+var metChordSuspects = metrics.Default.Counter("chord.suspects")
+
 // MarkSuspect excludes a node from routing decisions until SuspectTTL
 // elapses. Called when an RPC to the node fails at the transport level.
 func (n *Node) MarkSuspect(id ID) {
 	if id == n.ref.ID {
 		return
 	}
+	metChordSuspects.Inc()
 	n.smu.Lock()
 	n.suspects[id] = time.Now().Add(n.susTTL)
 	n.smu.Unlock()

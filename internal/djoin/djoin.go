@@ -1,10 +1,3 @@
-// Package djoin implements the distributed hash join over the DHT that
-// Harren et al. describe (and the paper builds its range-selection work
-// beside): to join R and S on a key, every peer holding tuples re-hashes
-// them by join key into the identifier space; the peer owning each key's
-// identifier receives both sides, joins locally, and the coordinator
-// collects the matches. The join never materializes either relation at a
-// single peer — only matching pairs travel to the coordinator.
 package djoin
 
 import (

@@ -1,0 +1,17 @@
+// Package djoin implements the distributed hash join over the DHT that
+// Harren et al. ("Complex Queries in DHT-based Peer-to-Peer Networks",
+// IPTPS 2002) describe — the query-processing line of work the paper
+// builds its range-selection contribution beside (it cites DHT query
+// processing as complementary: selections through LSH identifiers, joins
+// through key re-hashing).
+//
+// # Protocol
+//
+// To join R and S on a key, every peer holding tuples re-hashes them by
+// join key into the same 32-bit identifier space the range protocol uses;
+// the peer owning each key's identifier receives both sides (as an
+// auxiliary message type registered through peer.RegisterAux), joins
+// locally, and the coordinator collects the matches. The join never
+// materializes either relation at a single peer — only matching pairs
+// travel to the coordinator.
+package djoin

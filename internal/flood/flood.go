@@ -1,18 +1,22 @@
-// Package flood implements the unstructured peer-to-peer baseline the
-// paper's introduction contrasts with (Gnutella-style): peers form a
-// random overlay graph, cached partitions stay at the peer that created
-// them, and queries flood the overlay with a TTL. It exists to quantify
-// the trade-off the paper argues from: flooding finds whatever exists
-// within its horizon but costs O(degree^TTL) messages per query, while
-// the DHT approach resolves l identifiers in l·O(log N) messages.
 package flood
 
 import (
 	"fmt"
 	"math/rand"
 
+	"p2prange/internal/metrics"
 	"p2prange/internal/rangeset"
 	"p2prange/internal/store"
+	"p2prange/internal/trace"
+)
+
+// The Default-registry flood.* family: queries issued, overlay messages
+// sent, and peers reached — the O(degree^TTL) cost the paper's
+// introduction argues against.
+var (
+	metFloodQueries  = metrics.Default.Counter("flood.queries")
+	metFloodMessages = metrics.Default.Counter("flood.messages")
+	metFloodVisited  = metrics.Default.Counter("flood.visited")
 )
 
 // Config parameterizes an overlay.
@@ -110,16 +114,22 @@ type Result struct {
 // peer's local cache for the best match under measure. TTL 0 searches
 // only the origin.
 func (n *Network) Query(origin int, rel, attribute string, q rangeset.Range, measure store.Measure, ttl int) Result {
+	return n.QueryTraced(origin, rel, attribute, q, measure, ttl, nil)
+}
+
+// QueryTraced is Query recording each flood ring (depth, frontier size,
+// best score so far) on sp.
+func (n *Network) QueryTraced(origin int, rel, attribute string, q rangeset.Range, measure store.Measure, ttl int, sp *trace.Span) Result {
 	if origin < 0 || origin >= len(n.neighbors) {
 		return Result{}
 	}
+	metFloodQueries.Inc()
 	key := rel + "." + attribute
 	var res Result
 	visited := make(map[int]bool, 64)
 	frontier := []int{origin}
 	visited[origin] = true
 	for depth := 0; depth <= ttl && len(frontier) > 0; depth++ {
-		var next []int
 		for _, p := range frontier {
 			res.Visited++
 			for _, cand := range n.caches[p][key] {
@@ -129,18 +139,25 @@ func (n *Network) Query(origin int, rel, attribute string, q rangeset.Range, mea
 					res.Found = true
 				}
 			}
-			if depth == ttl {
-				continue // last hop: scan but do not forward
-			}
-			for _, nb := range n.neighbors[p] {
-				res.Messages++ // every forwarded copy costs a message
-				if !visited[nb] {
-					visited[nb] = true
-					next = append(next, nb)
+		}
+		var next []int
+		if depth < ttl {
+			for _, p := range frontier {
+				for _, nb := range n.neighbors[p] {
+					res.Messages++ // every forwarded copy costs a message
+					if !visited[nb] {
+						visited[nb] = true
+						next = append(next, nb)
+					}
 				}
 			}
 		}
+		if sp.On() {
+			sp.Eventf("ring", "depth=%d peers=%d best=%.3f", depth, len(frontier), res.Match.Score)
+		}
 		frontier = next
 	}
+	metFloodMessages.Add(uint64(res.Messages))
+	metFloodVisited.Add(uint64(res.Visited))
 	return res
 }

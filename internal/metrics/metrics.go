@@ -1,7 +1,3 @@
-// Package metrics provides the summary statistics the paper's evaluation
-// reports: histograms over [0,1] similarity scores, cumulative "percentage
-// of queries answered up to x" curves, percentiles of per-node load, and
-// discrete probability distributions of path lengths.
 package metrics
 
 import (

@@ -9,6 +9,11 @@ import "sync/atomic"
 // describes the whole path. All methods are safe for concurrent use and
 // tolerate a nil receiver, so call sites never need to guard against
 // metrics being disabled.
+//
+// Every Add method — including calls on a nil receiver — also feeds the
+// process-wide route.* counter family of the Default registry, so the
+// registered totals aggregate across all instances (every peer of a
+// simulated cluster, or one live daemon) with no wiring.
 type RouteStats struct {
 	lookups       atomic.Uint64
 	failedLookups atomic.Uint64
@@ -16,8 +21,17 @@ type RouteStats struct {
 	retries       atomic.Uint64
 }
 
+// The Default-registry mirror of the route.* family.
+var (
+	defRouteLookups  = Default.Counter("route.lookups")
+	defRouteFailed   = Default.Counter("route.failed_lookups")
+	defRouteRerouted = Default.Counter("route.rerouted")
+	defRouteRetries  = Default.Counter("route.retries")
+)
+
 // AddLookup records one lookup issued.
 func (s *RouteStats) AddLookup() {
+	defRouteLookups.Inc()
 	if s != nil {
 		s.lookups.Add(1)
 	}
@@ -25,6 +39,7 @@ func (s *RouteStats) AddLookup() {
 
 // AddFailedLookup records a lookup that returned an error.
 func (s *RouteStats) AddFailedLookup() {
+	defRouteFailed.Inc()
 	if s != nil {
 		s.failedLookups.Add(1)
 	}
@@ -32,6 +47,7 @@ func (s *RouteStats) AddFailedLookup() {
 
 // AddReroute records one hop routed around an unreachable node.
 func (s *RouteStats) AddReroute() {
+	defRouteRerouted.Inc()
 	if s != nil {
 		s.rerouted.Add(1)
 	}
@@ -39,9 +55,22 @@ func (s *RouteStats) AddReroute() {
 
 // AddRetry records one transport-level retry.
 func (s *RouteStats) AddRetry() {
+	defRouteRetries.Inc()
 	if s != nil {
 		s.retries.Add(1)
 	}
+}
+
+// Reset zeroes this instance's counters (the Default-registry mirrors are
+// reset through Registry.Reset). Nil receivers no-op.
+func (s *RouteStats) Reset() {
+	if s == nil {
+		return
+	}
+	s.lookups.Store(0)
+	s.failedLookups.Store(0)
+	s.rerouted.Store(0)
+	s.retries.Store(0)
 }
 
 // RouteSnapshot is a consistent-enough point-in-time copy of RouteStats

@@ -10,6 +10,11 @@ import "sync/atomic"
 // peers of a simulated cluster, or a single live peer. All methods are
 // safe for concurrent use and tolerate a nil receiver, so call sites
 // never need to guard against metrics being disabled.
+//
+// Every Add method — including calls on a nil receiver — also feeds the
+// process-wide sig.* counter family of the Default registry, so the
+// registered totals aggregate across all signers in the process with no
+// wiring.
 type SigStats struct {
 	hits      atomic.Uint64
 	misses    atomic.Uint64
@@ -17,8 +22,17 @@ type SigStats struct {
 	evictions atomic.Uint64
 }
 
+// The Default-registry mirror of the sig.* family.
+var (
+	defSigHits      = Default.Counter("sig.hits")
+	defSigMisses    = Default.Counter("sig.misses")
+	defSigExtends   = Default.Counter("sig.extends")
+	defSigEvictions = Default.Counter("sig.evictions")
+)
+
 // AddHit records one exact signature-cache hit.
 func (s *SigStats) AddHit() {
+	defSigHits.Inc()
 	if s != nil {
 		s.hits.Add(1)
 	}
@@ -26,6 +40,7 @@ func (s *SigStats) AddHit() {
 
 // AddMiss records one full signing pass (no reusable cached signature).
 func (s *SigStats) AddMiss() {
+	defSigMisses.Inc()
 	if s != nil {
 		s.misses.Add(1)
 	}
@@ -33,6 +48,7 @@ func (s *SigStats) AddMiss() {
 
 // AddExtend records one incremental extension of a cached signature.
 func (s *SigStats) AddExtend() {
+	defSigExtends.Inc()
 	if s != nil {
 		s.extends.Add(1)
 	}
@@ -40,9 +56,22 @@ func (s *SigStats) AddExtend() {
 
 // AddEviction records one signature evicted from a bounded cache.
 func (s *SigStats) AddEviction() {
+	defSigEvictions.Inc()
 	if s != nil {
 		s.evictions.Add(1)
 	}
+}
+
+// Reset zeroes this instance's counters (the Default-registry mirrors are
+// reset through Registry.Reset). Nil receivers no-op.
+func (s *SigStats) Reset() {
+	if s == nil {
+		return
+	}
+	s.hits.Store(0)
+	s.misses.Store(0)
+	s.extends.Store(0)
+	s.evictions.Store(0)
 }
 
 // SigSnapshot is a point-in-time copy of SigStats (each counter is read

@@ -1,15 +1,10 @@
-// Package peer implements the paper's peer node: a chord participant that
-// owns identifier buckets of partition descriptors, hashes query ranges
-// with the shared LSH scheme, and runs the Section 4 protocol — compute l
-// identifiers for a range, contact the peers owning them, collect each
-// bucket's best match, pick the overall best, and cache the new partition
-// at those peers when no exact match exists.
 package peer
 
 import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"p2prange/internal/chord"
 	"p2prange/internal/metrics"
@@ -17,7 +12,21 @@ import (
 	"p2prange/internal/rangeset"
 	"p2prange/internal/relation"
 	"p2prange/internal/store"
+	"p2prange/internal/trace"
 	"p2prange/internal/transport"
+)
+
+// The Default-registry peer.* family: protocol-level counters aggregated
+// across every peer in the process (one live peer, or a whole simulated
+// cluster).
+var (
+	metLookups    = metrics.Default.Counter("peer.lookups")
+	metProbes     = metrics.Default.Counter("peer.probes")
+	metStores     = metrics.Default.Counter("peer.stores")
+	metPublishes  = metrics.Default.Counter("peer.publishes")
+	metFetches    = metrics.Default.Counter("peer.fetches")
+	metPartitions = metrics.Default.Gauge("peer.partitions")
+	metLookupUS   = metrics.Default.IntHistogram("peer.lookup_us")
 )
 
 // Partition protocol messages.
@@ -322,56 +331,106 @@ func checkRange(q rangeset.Range) error {
 // owners — "If none of the match is exact, also store the computed
 // partition at the peers holding the computed identifiers."
 func (p *Peer) Lookup(rel, attribute string, q rangeset.Range, cache bool) (LookupResult, error) {
+	return p.LookupTraced(rel, attribute, q, cache, nil)
+}
+
+// LookupTraced is Lookup recording the signature-cache outcome, one child
+// span per probe (with its chord hops and detours), and store decisions
+// on sp. A nil sp traces nothing and allocates nothing extra.
+func (p *Peer) LookupTraced(rel, attribute string, q rangeset.Range, cache bool, sp *trace.Span) (LookupResult, error) {
+	metLookups.Inc()
+	start := time.Now()
 	var res LookupResult
 	if err := checkRange(q); err != nil {
 		return res, err
 	}
+	var sigBefore metrics.SigSnapshot
+	if sp.On() && p.signer != nil {
+		sigBefore = p.signer.SigStats()
+	}
 	ids := p.cfg.Scheme.Identifiers(q)
+	if sp.On() {
+		if p.signer != nil {
+			d := p.signer.SigStats().Sub(sigBefore)
+			sp.Eventf("sig", "hits=%d extends=%d misses=%d", d.Hits, d.Extends, d.Misses)
+		} else {
+			sp.Event("sig", "no signature pipeline")
+		}
+	}
 	owners := make([]chord.Ref, len(ids))
 	for i, id := range ids {
-		owner, hops, err := p.node.Lookup(id)
+		metProbes.Inc()
+		var ps *trace.Span
+		if sp.On() {
+			ps = sp.Child(fmt.Sprintf("probe %d/%d id=%08x", i+1, len(ids), id))
+		}
+		owner, hops, err := p.node.LookupTraced(id, ps)
 		if err != nil {
+			ps.End()
 			return res, fmt.Errorf("peer: route to bucket %08x: %w", id, err)
 		}
 		res.Hops = append(res.Hops, hops)
 
 		owner, resp, err := p.callOwner(id, owner, FindBestReq{
 			ID: id, Relation: rel, Attribute: attribute, Range: q, Measure: p.cfg.Measure,
-		})
+		}, ps)
 		if err != nil {
+			ps.End()
 			return res, err
 		}
 		owners[i] = owner
 		fb, ok := resp.(FindBestResp)
 		if !ok {
+			ps.End()
 			return res, transport.BadRequest(resp)
 		}
 		if fb.Found && (!res.Found || fb.Match.Score > res.Match.Score) {
 			res.Match = fb.Match
 			res.Found = true
 		}
+		if ps.On() {
+			if fb.Found {
+				ps.Eventf("match", "%s score=%.3f", fb.Match.Partition.Range, fb.Match.Score)
+			} else {
+				ps.Event("match", "none")
+			}
+			ps.End()
+		}
 	}
 	exact := res.Found && res.Match.Partition.Range == q
 	if cache && !exact {
 		for i, id := range ids {
+			metStores.Inc()
 			_, _, err := p.callOwner(id, owners[i], StoreReq{
 				ID: id,
 				Partition: store.Partition{
 					Relation: rel, Attribute: attribute, Range: q, Holder: p.Addr(),
 				},
-			})
+			}, nil)
 			if err != nil {
 				return res, err
 			}
 		}
 		res.Stored = true
+		if sp.On() {
+			sp.Eventf("store", "descriptor cached at %d owner(s)", len(ids))
+		}
+	} else if sp.On() && cache {
+		sp.Event("store", "skipped (exact match)")
 	}
+	metLookupUS.Observe(uint64(time.Since(start).Microseconds()))
 	return res, nil
 }
 
 // Publish stores a partition descriptor (held by this peer) under its l
 // identifiers, routing to each owner. It returns the chord hop counts.
 func (p *Peer) Publish(part store.Partition) ([]int, error) {
+	return p.PublishTraced(part, nil)
+}
+
+// PublishTraced is Publish recording each bucket resolution on sp.
+func (p *Peer) PublishTraced(part store.Partition, sp *trace.Span) ([]int, error) {
+	metPublishes.Inc()
 	if part.Holder == "" {
 		part.Holder = p.Addr()
 	}
@@ -380,13 +439,21 @@ func (p *Peer) Publish(part store.Partition) ([]int, error) {
 	}
 	ids := p.cfg.Scheme.Identifiers(part.Range)
 	hops := make([]int, 0, len(ids))
-	for _, id := range ids {
-		owner, h, err := p.node.Lookup(id)
+	for i, id := range ids {
+		var ps *trace.Span
+		if sp.On() {
+			ps = sp.Child(fmt.Sprintf("publish %d/%d id=%08x", i+1, len(ids), id))
+		}
+		owner, h, err := p.node.LookupTraced(id, ps)
 		if err != nil {
+			ps.End()
 			return hops, fmt.Errorf("peer: route to bucket %08x: %w", id, err)
 		}
 		hops = append(hops, h)
-		if _, _, err := p.callOwner(id, owner, StoreReq{ID: id, Partition: part}); err != nil {
+		metStores.Inc()
+		_, _, err = p.callOwner(id, owner, StoreReq{ID: id, Partition: part}, ps)
+		ps.End()
+		if err != nil {
 			return hops, err
 		}
 	}
@@ -407,14 +474,17 @@ func (p *Peer) call(to chord.Ref, req any) (any, error) {
 // is marked suspect and the bucket re-resolved once: responsibility for
 // its arc has passed to the next live successor, which — with replication
 // enabled — already holds a copy of its descriptors. Returns the ref that
-// actually answered.
-func (p *Peer) callOwner(id uint32, owner chord.Ref, req any) (chord.Ref, any, error) {
+// actually answered; the re-resolution is recorded on sp.
+func (p *Peer) callOwner(id uint32, owner chord.Ref, req any, sp *trace.Span) (chord.Ref, any, error) {
 	resp, err := p.call(owner, req)
 	if err == nil || !p.node.FaultTolerant() || !transport.Retryable(err) {
 		return owner, resp, err
 	}
 	p.node.MarkSuspect(owner.ID)
-	next, _, lerr := p.node.Lookup(id)
+	if sp.On() {
+		sp.Eventf("owner-dead", "%s unreachable, re-resolving %08x", owner, id)
+	}
+	next, _, lerr := p.node.LookupTraced(id, sp)
 	if lerr != nil || next.ID == owner.ID {
 		return owner, nil, err
 	}
@@ -432,6 +502,9 @@ func (p *Peer) AddPartition(part *relation.Partition) {
 	}.Key()
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	if _, exists := p.data[key]; !exists {
+		metPartitions.Add(1)
+	}
 	p.data[key] = part
 }
 
@@ -453,6 +526,7 @@ func (p *Peer) PartitionCount() int {
 
 // FetchData retrieves the tuples of a matched partition from its holder.
 func (p *Peer) FetchData(m store.Match) (*relation.Relation, error) {
+	metFetches.Inc()
 	if p.cfg.Schema == nil {
 		return nil, errors.New("peer: no schema configured")
 	}

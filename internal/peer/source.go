@@ -9,7 +9,12 @@ import (
 	"p2prange/internal/rangeset"
 	"p2prange/internal/relation"
 	"p2prange/internal/store"
+	"p2prange/internal/trace"
 )
+
+// metFallbacks counts leaf fetches that went to the base source because
+// the DHT answer was absent or below MinRecall (Default registry).
+var metFallbacks = metrics.Default.Counter("peer.fallbacks")
 
 // DataSource adapts a Peer to the query executor's Source interface,
 // implementing the paper's end-to-end flow for a selection leaf:
@@ -43,6 +48,7 @@ type DataSource struct {
 
 var _ query.Source = (*DataSource)(nil)
 var _ query.SigStatsProvider = (*DataSource)(nil)
+var _ query.TracedSource = (*DataSource)(nil)
 
 // SigStats implements query.SigStatsProvider by exposing the querying
 // peer's signature-pipeline counters, so SQL executions can report how
@@ -51,13 +57,28 @@ func (s *DataSource) SigStats() metrics.SigSnapshot { return s.Peer.SigStats() }
 
 // Fetch implements query.Source.
 func (s *DataSource) Fetch(rel, attribute string, rg rangeset.Range) (*relation.Relation, rangeset.Range, error) {
+	return s.FetchTraced(rel, attribute, rg, nil)
+}
+
+// FetchTraced implements query.TracedSource: Fetch recording the probe
+// range, the DHT lookup (as a child span), the data fetch from the
+// holder, and any base-source fallback on sp.
+func (s *DataSource) FetchTraced(rel, attribute string, rg rangeset.Range, sp *trace.Span) (*relation.Relation, rangeset.Range, error) {
 	rg = s.clamp(rel, attribute, rg)
 	probe := rg
 	if s.PadFrac > 0 {
 		dom := s.domain(rel, attribute, rg)
 		probe = rg.Pad(s.PadFrac, dom.Lo, dom.Hi)
+		if sp.On() && probe != rg {
+			sp.Eventf("pad", "%s -> %s", rg, probe)
+		}
 	}
-	lr, err := s.Peer.Lookup(rel, attribute, probe, true)
+	var ls *trace.Span
+	if sp.On() {
+		ls = sp.Child(fmt.Sprintf("lookup %s.%s %s", rel, attribute, probe))
+	}
+	lr, err := s.Peer.LookupTraced(rel, attribute, probe, true, ls)
+	ls.End()
 	if err != nil {
 		return nil, rangeset.Range{}, err
 	}
@@ -72,6 +93,9 @@ func (s *DataSource) Fetch(rel, attribute string, rg rangeset.Range) (*relation.
 			d, err := s.Peer.FetchData(lr.Match)
 			if err == nil {
 				data, covered = d, inter
+				if sp.On() {
+					sp.Eventf("fetch", "%d tuple(s) from %s", len(d.Tuples), lr.Match.Partition.Holder)
+				}
 			} else if s.Base == nil {
 				return nil, rangeset.Range{}, err
 			}
@@ -82,6 +106,9 @@ func (s *DataSource) Fetch(rel, attribute string, rg rangeset.Range) (*relation.
 		recall = rg.Recall(covered)
 	}
 	if recall >= minRecall || s.Base == nil {
+		if sp.On() {
+			sp.Eventf("answer", "recall=%.3f from cache", recall)
+		}
 		if data == nil {
 			// No match at all and no fallback: an empty, zero-coverage
 			// answer (the schema may be unknown without a base; synthesize
@@ -97,13 +124,17 @@ func (s *DataSource) Fetch(rel, attribute string, rg rangeset.Range) (*relation.
 	// Fall back to the source relation, then cache the computed partition
 	// so the system benefits next time: materialize here, publish the
 	// descriptor under the probe range actually evaluated.
+	metFallbacks.Inc()
+	if sp.On() {
+		sp.Eventf("fallback", "recall=%.3f < %.3f, going to source", recall, minRecall)
+	}
 	full, fullCovered, err := s.Base.Fetch(rel, attribute, probe)
 	if err != nil {
 		return nil, rangeset.Range{}, err
 	}
 	part := &relation.Partition{Relation: rel, Attribute: attribute, Range: fullCovered, Data: full}
 	s.Peer.AddPartition(part)
-	if _, err := s.Peer.Publish(storeDescriptor(part, s.Peer.Addr())); err != nil {
+	if _, err := s.Peer.PublishTraced(storeDescriptor(part, s.Peer.Addr()), sp); err != nil {
 		return nil, rangeset.Range{}, err
 	}
 	return full, rg, nil

@@ -8,6 +8,16 @@ import (
 	"p2prange/internal/metrics"
 	"p2prange/internal/rangeset"
 	"p2prange/internal/relation"
+	"p2prange/internal/trace"
+)
+
+// The Default-registry query.* family: executions counts Execute calls,
+// scans counts selective (range-pushed) leaves, fullscans counts leaves
+// that fetched a whole relation.
+var (
+	metExecutions = metrics.Default.Counter("query.executions")
+	metScans      = metrics.Default.Counter("query.scans")
+	metFullScans  = metrics.Default.Counter("query.fullscans")
 )
 
 // Source supplies the tuples for a plan leaf. The P2P system implements it
@@ -35,6 +45,13 @@ type SigStatsProvider interface {
 	SigStats() metrics.SigSnapshot
 }
 
+// TracedSource is implemented by sources that can record a leaf fetch on
+// a trace span (peer.DataSource). ExecuteTraced uses it when available;
+// sources without it are fetched untraced.
+type TracedSource interface {
+	FetchTraced(rel, attribute string, rg rangeset.Range, sp *trace.Span) (data *relation.Relation, covered rangeset.Range, err error)
+}
+
 // Result is the output of executing a plan: a header of qualified columns
 // and the projected rows, plus per-scan recall accounting so callers can
 // report how approximate the answer is.
@@ -55,7 +72,16 @@ type Result struct {
 // P2P deployments), apply residual filters, evaluate all equijoins with
 // hash joins, and project.
 func Execute(plan *Plan, schema *relation.Schema, src Source) (*Result, error) {
+	return ExecuteTraced(plan, schema, src, nil)
+}
+
+// ExecuteTraced is Execute recording one child span per scan leaf (with
+// the DHT lookup inside, when src implements TracedSource) plus the join
+// and projection stage on sp. A nil sp traces nothing.
+func ExecuteTraced(plan *Plan, schema *relation.Schema, src Source, sp *trace.Span) (*Result, error) {
+	metExecutions.Inc()
 	res := &Result{ScanRecall: make(map[string]float64)}
+	tracedSrc, _ := src.(TracedSource)
 
 	// Signature-pipeline accounting: snapshot before the leaves fetch,
 	// diff after, so the result reports this query's own hashing reuse.
@@ -77,8 +103,18 @@ func Execute(plan *Plan, schema *relation.Schema, src Source) (*Result, error) {
 		var data *relation.Relation
 		var err error
 		if scan.Selective() {
+			metScans.Inc()
+			var ss *trace.Span
+			if sp.On() {
+				ss = sp.Child(fmt.Sprintf("scan %s.%s %s", scan.Relation, scan.Attribute, scan.Range))
+			}
 			var covered rangeset.Range
-			data, covered, err = src.Fetch(scan.Relation, scan.Attribute, scan.Range)
+			if tracedSrc != nil {
+				data, covered, err = tracedSrc.FetchTraced(scan.Relation, scan.Attribute, scan.Range, ss)
+			} else {
+				data, covered, err = src.Fetch(scan.Relation, scan.Attribute, scan.Range)
+			}
+			ss.End()
 			if err != nil {
 				return nil, fmt.Errorf("query: fetch %s.%s %s: %w", scan.Relation, scan.Attribute, scan.Range, err)
 			}
@@ -95,9 +131,13 @@ func Execute(plan *Plan, schema *relation.Schema, src Source) (*Result, error) {
 				return nil, err
 			}
 		} else {
+			metFullScans.Inc()
 			data, err = src.FetchAll(scan.Relation)
 			if err != nil {
 				return nil, fmt.Errorf("query: fetch %s: %w", scan.Relation, err)
+			}
+			if sp.On() {
+				sp.Eventf("fullscan", "%s (%d tuple(s))", scan.Relation, len(data.Tuples))
 			}
 		}
 		if len(scan.Residual) > 0 {
@@ -108,6 +148,11 @@ func Execute(plan *Plan, schema *relation.Schema, src Source) (*Result, error) {
 		}
 		tables[scan.Relation] = data
 	}
+
+	// The join/projection stage runs at the querying peer; one child span
+	// covers it all.
+	js := sp.Child("join+project")
+	defer js.End()
 
 	// Joins: left-deep over the FROM order, binding rows per relation.
 	var rows []row

@@ -1,10 +1,3 @@
-// Package query implements the restricted SQL front end of the paper's
-// architecture: SELECT queries with conjunctive WHERE clauses of
-// single-attribute range predicates and equijoins. The planner pushes
-// selects to the leaves (paper Fig. 1) and emits, per relation, the one
-// range selection the P2P layer resolves through the DHT; the executor
-// evaluates the remaining plan (residual filters, hash joins, projection)
-// locally at the querying peer.
 package query
 
 import (

@@ -1,9 +1,3 @@
-// Package relation is the relational substrate the paper's architecture
-// shares: a global schema known to all peers, typed tuples, relations, and
-// horizontal partitions (the unit of caching — the tuples of one relation
-// selected by a range predicate on a single attribute). It also ships the
-// paper's running medical-records schema with a deterministic synthetic
-// data generator.
 package relation
 
 import (

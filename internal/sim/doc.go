@@ -1,0 +1,23 @@
+// Package sim builds in-memory clusters of peers and drives the paper's
+// two kinds of experiments.
+//
+// # Cluster
+//
+// NewCluster wires N peers over the in-memory transport (deterministic
+// addresses 10.x.x.x:4000, chord IDs the SHA-1 of the address) onto a
+// converged chord ring sharing one LSH scheme, exercising the same
+// protocol code live TCP deployments run. Join/Leave/Crash drive churn
+// through the real join, graceful-leave, and stabilization paths, so the
+// availability experiments measure the actual repair machinery rather
+// than a model of it.
+//
+// # Experiment drivers
+//
+// Match-quality runs reproduce Figs. 6-10: feed the 10,000-query
+// workload (internal/workload) through the Section 4 protocol and record
+// similarity and recall. Scalability runs reproduce Figs. 11-12: store
+// tens of thousands of partitions across rings of 100-5000 peers and
+// record load distribution and lookup path lengths. The
+// internal/experiments package composes these into the figure-by-figure
+// tables rangebench prints.
+package sim

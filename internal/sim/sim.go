@@ -1,9 +1,3 @@
-// Package sim builds in-memory clusters of peers and drives the paper's
-// two kinds of experiments: match-quality runs (Figs. 6-10: feed the
-// 10,000-query workload through the Section 4 protocol and record
-// similarity and recall) and scalability runs (Figs. 11-12: store tens of
-// thousands of partitions across rings of 100-5000 peers and record load
-// distribution and lookup path lengths).
 package sim
 
 import (

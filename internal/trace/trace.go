@@ -1,0 +1,170 @@
+// Package trace is the per-query tracing layer: a Span tree that follows
+// one range lookup or SQL execution through the query planner, the peer
+// protocol, the DHT substrate, and the transports, recording per-hop
+// events (node contacted, message kind, retries and detours, signature
+// cache outcome) with timings. rangeql -trace renders the tree per query;
+// the golden test in the root package pins its shape.
+//
+// The paper's evaluation is entirely per-lookup — hop counts (Fig. 12),
+// probe success (Figs. 6-9), hashing cost (Fig. 5) — and a span tree is
+// those figures for a single query: each "probe" child is one of the l
+// identifier resolutions, its "hop" events are the Fig. 12 path, and its
+// "sig" event is the Fig. 5 cost actually paid.
+//
+// # The disabled tracer costs nothing
+//
+// A nil *Span is the disabled tracer: every method no-ops and performs no
+// allocation, so instrumented code threads spans unconditionally through
+// hot paths. The only discipline call sites need: guard event-string
+// construction (fmt.Sprintf, Eventf's variadic boxing) behind On(), so a
+// disabled trace never formats anything. BenchmarkDisabledSpan pins the
+// 0 allocs/op contract.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Span is one timed node of a trace tree. Create a root with New, extend
+// it with Child and Event, and close it with End. All methods are safe
+// for concurrent use (parallel probes may append to one parent) and
+// tolerate a nil receiver.
+type Span struct {
+	name  string
+	start time.Time
+	dur   time.Duration
+
+	mu    sync.Mutex
+	items []item
+}
+
+// item is one ordered entry of a span: an event (child == nil) or a
+// child span.
+type item struct {
+	kind, detail string
+	child        *Span
+}
+
+// New starts a root span.
+func New(name string) *Span {
+	return &Span{name: name, start: time.Now()}
+}
+
+// On reports whether tracing is enabled. Guard any work that only feeds
+// the trace — especially string formatting — behind it.
+func (s *Span) On() bool { return s != nil }
+
+// Child starts a sub-span and attaches it in order. A nil receiver
+// returns a nil child, so chains stay nil-safe.
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	c := &Span{name: name, start: time.Now()}
+	s.mu.Lock()
+	s.items = append(s.items, item{child: c})
+	s.mu.Unlock()
+	return c
+}
+
+// Event records a point annotation ("hop", "detour", "sig", ...) with a
+// preformatted detail string.
+func (s *Span) Event(kind, detail string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.items = append(s.items, item{kind: kind, detail: detail})
+	s.mu.Unlock()
+}
+
+// Eventf is Event with formatting. The variadic arguments box even when
+// the span is nil, so hot paths must guard calls with On().
+func (s *Span) Eventf(kind, format string, args ...any) {
+	if s == nil {
+		return
+	}
+	s.Event(kind, fmt.Sprintf(format, args...))
+}
+
+// End stamps the span's duration. Ending twice keeps the first stamp;
+// an unended span renders with no duration.
+func (s *Span) End() {
+	if s == nil || s.dur != 0 {
+		return
+	}
+	s.dur = time.Since(s.start)
+}
+
+// Duration returns the stamped duration (zero before End).
+func (s *Span) Duration() time.Duration {
+	if s == nil {
+		return 0
+	}
+	return s.dur
+}
+
+// Name returns the span's name ("" for a nil span).
+func (s *Span) Name() string {
+	if s == nil {
+		return ""
+	}
+	return s.name
+}
+
+// Tree renders the span as an indented tree, one line per span or event.
+// withTimings appends each span's duration; golden tests disable it so
+// the output is deterministic.
+func (s *Span) Tree(withTimings bool) string {
+	if s == nil {
+		return ""
+	}
+	var b strings.Builder
+	s.render(&b, "", "", withTimings)
+	return b.String()
+}
+
+// WriteTree renders the tree to w.
+func (s *Span) WriteTree(w io.Writer, withTimings bool) error {
+	_, err := io.WriteString(w, s.Tree(withTimings))
+	return err
+}
+
+// String renders the tree with timings.
+func (s *Span) String() string { return s.Tree(true) }
+
+// render emits this span's line under linePrefix and its items under
+// childPrefix, using the usual box-drawing tree connectors.
+func (s *Span) render(b *strings.Builder, linePrefix, childPrefix string, withTimings bool) {
+	b.WriteString(linePrefix)
+	b.WriteString(s.name)
+	if withTimings && s.dur > 0 {
+		fmt.Fprintf(b, "  (%s)", s.dur.Round(time.Microsecond))
+	}
+	b.WriteByte('\n')
+	s.mu.Lock()
+	items := append([]item(nil), s.items...)
+	s.mu.Unlock()
+	for i, it := range items {
+		connector, indent := "├─ ", "│  "
+		if i == len(items)-1 {
+			connector, indent = "└─ ", "   "
+		}
+		if it.child != nil {
+			it.child.render(b, childPrefix+connector, childPrefix+indent, withTimings)
+			continue
+		}
+		b.WriteString(childPrefix)
+		b.WriteString(connector)
+		b.WriteString(it.kind)
+		if it.detail != "" {
+			b.WriteString(": ")
+			b.WriteString(it.detail)
+		}
+		b.WriteByte('\n')
+	}
+}

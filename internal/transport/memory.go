@@ -57,11 +57,13 @@ func (m *Memory) Calls() uint64 {
 
 // Call implements Caller.
 func (m *Memory) Call(addr string, req any) (any, error) {
+	metCalls.Inc()
 	m.mu.RLock()
 	h, ok := m.handlers[addr]
 	down := m.down[addr]
 	m.mu.RUnlock()
 	if !ok || down {
+		metErrors.Inc()
 		return nil, fmt.Errorf("%w: %s", ErrUnknownAddr, addr)
 	}
 	m.mu.Lock()

@@ -180,6 +180,7 @@ func (c *TCPCaller) pool(addr string) (chan *tcpConn, error) {
 // Call implements Caller over TCP. A transport-level failure invalidates
 // the pooled connection so the next call on that slot re-dials.
 func (c *TCPCaller) Call(addr string, req any) (any, error) {
+	metCalls.Inc()
 	pool, err := c.pool(addr)
 	if err != nil {
 		return nil, err

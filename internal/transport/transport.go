@@ -3,6 +3,17 @@ package transport
 import (
 	"errors"
 	"fmt"
+
+	"p2prange/internal/metrics"
+)
+
+// The Default-registry transport.* family: calls counts every request a
+// caller issues (in-memory or TCP), errors counts transport-level
+// delivery failures — the denominators and numerators behind the retry
+// and reroute rates of route.*.
+var (
+	metCalls  = metrics.Default.Counter("transport.calls")
+	metErrors = metrics.Default.Counter("transport.errors")
 )
 
 // Caller issues a request to the node at addr and returns its response.
@@ -40,8 +51,10 @@ type netError struct{ cause error }
 func (e *netError) Error() string   { return e.cause.Error() }
 func (e *netError) Unwrap() []error { return []error{ErrNetwork, e.cause} }
 
-// netErrf builds an ErrNetwork-classified error.
+// netErrf builds an ErrNetwork-classified error. Every construction is
+// one delivery failure, so the transport.errors counter lives here.
 func netErrf(format string, args ...any) error {
+	metErrors.Inc()
 	return &netError{cause: fmt.Errorf(format, args...)}
 }
 

@@ -1,0 +1,7 @@
+// Package workload generates the query-range workloads of the paper's
+// evaluation (Sec. 5.1): 10,000 uniform random integer ranges over
+// [0, 1000] with ~0.2% repetitions — the input behind Figs. 6-10 — plus
+// skewed extensions (Zipf-popular hot spots, clustered ranges) for
+// ablations beyond the paper. All generators are deterministic given a
+// seed, so every experiment and test replays the same query stream.
+package workload

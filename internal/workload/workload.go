@@ -1,7 +1,3 @@
-// Package workload generates the query range workloads of the paper's
-// evaluation (10,000 uniform random integer ranges over [0, 1000], ~0.2%
-// repetitions) plus skewed extensions (Zipf-popular hot spots, clustered
-// ranges) for ablations. All generators are deterministic given a seed.
 package workload
 
 import (

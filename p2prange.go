@@ -31,6 +31,7 @@ import (
 	"p2prange/internal/relation"
 	"p2prange/internal/sim"
 	"p2prange/internal/store"
+	"p2prange/internal/trace"
 )
 
 // Re-exported building blocks. Aliases (not wrappers) so values flow
@@ -61,6 +62,10 @@ type (
 	Value = relation.Value
 	// QueryResult is the output of a SQL execution.
 	QueryResult = query.Result
+	// Trace is a per-query span tree: LookupTraced and QueryTraced return
+	// one recording every hop, retry, detour, and cache outcome; render it
+	// with Tree. See docs/OBSERVABILITY.md.
+	Trace = trace.Span
 )
 
 // Hash-function families (paper Sec. 3.3 and 5.1).
@@ -196,15 +201,32 @@ func (s *System) Peers() int { return s.cluster.N() }
 // a non-exact query range is recorded at the l identifier owners so later
 // similar queries can find it.
 func (s *System) Lookup(rel, attribute string, q Range, cache bool) (Match, bool, error) {
+	m, found, _, err := s.lookup(rel, attribute, q, cache, false)
+	return m, found, err
+}
+
+// LookupTraced is Lookup returning a span tree of the whole protocol run:
+// the signature-cache outcome, one child span per probe with its chord
+// hops and detours, and the store decision.
+func (s *System) LookupTraced(rel, attribute string, q Range, cache bool) (Match, bool, *Trace, error) {
+	return s.lookup(rel, attribute, q, cache, true)
+}
+
+func (s *System) lookup(rel, attribute string, q Range, cache, traced bool) (Match, bool, *Trace, error) {
 	if !q.Valid() {
-		return Match{}, false, fmt.Errorf("p2prange: invalid range %s", q)
+		return Match{}, false, nil, fmt.Errorf("p2prange: invalid range %s", q)
 	}
 	origin := s.cluster.RandomPeer(s.rng)
-	lr, err := origin.Lookup(rel, attribute, q, cache)
-	if err != nil {
-		return Match{}, false, err
+	var sp *Trace
+	if traced {
+		sp = trace.New(fmt.Sprintf("lookup %s.%s %s from %s", rel, attribute, q, origin.Addr()))
 	}
-	return lr.Match, lr.Found, nil
+	lr, err := origin.LookupTraced(rel, attribute, q, cache, sp)
+	sp.End()
+	if err != nil {
+		return Match{}, false, sp, err
+	}
+	return lr.Match, lr.Found, sp, nil
 }
 
 // LookupMulti answers a multi-interval predicate (a union of ranges, e.g.
@@ -260,16 +282,28 @@ func (s *System) Base(rel string) (*Relation, bool) {
 // pushed to the leaves and resolved through the DHT (with base fallback
 // and caching); joins and projection run at the querying peer.
 func (s *System) Query(sql string) (*QueryResult, error) {
+	res, _, err := s.query(sql, false)
+	return res, err
+}
+
+// QueryTraced is Query returning a span tree of the execution: one child
+// span per scan leaf (with the DHT lookup, its probes, and their chord
+// hops inside) plus the join/projection stage.
+func (s *System) QueryTraced(sql string) (*QueryResult, *Trace, error) {
+	return s.query(sql, true)
+}
+
+func (s *System) query(sql string, traced bool) (*QueryResult, *Trace, error) {
 	if s.cfg.Schema == nil {
-		return nil, errors.New("p2prange: Config.Schema required for SQL queries")
+		return nil, nil, errors.New("p2prange: Config.Schema required for SQL queries")
 	}
 	q, err := query.Parse(sql)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	plan, err := query.BuildPlanWith(q, s.cfg.Schema, s.planOptions())
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	origin := s.cluster.RandomPeer(s.rng)
 	src := &peer.DataSource{
@@ -277,7 +311,13 @@ func (s *System) Query(sql string) (*QueryResult, error) {
 		Base:    query.NewRelationSource(s.base),
 		PadFrac: s.cfg.PadFrac,
 	}
-	return query.Execute(plan, s.cfg.Schema, src)
+	var sp *Trace
+	if traced {
+		sp = trace.New(fmt.Sprintf("query from %s", origin.Addr()))
+	}
+	res, err := query.ExecuteTraced(plan, s.cfg.Schema, src, sp)
+	sp.End()
+	return res, sp, err
 }
 
 // Plan returns the physical plan for a SQL statement without executing

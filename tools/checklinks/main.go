@@ -1,0 +1,80 @@
+// Checklinks verifies that every relative markdown link in the repo's
+// *.md files points at a file or directory that exists. It walks the
+// tree it is run from (skipping .git), extracts [text](target) links,
+// ignores external targets (http/https/mailto) and pure #anchors, and
+// resolves the rest against the linking file's directory. Broken links
+// are listed one per line and the exit status is 1.
+//
+// Usage: go run ./tools/checklinks [root]   (root defaults to ".")
+package main
+
+import (
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+var linkRE = regexp.MustCompile(`\[[^\]]*\]\(([^)\s]+)\)`)
+
+func external(target string) bool {
+	return strings.HasPrefix(target, "http://") ||
+		strings.HasPrefix(target, "https://") ||
+		strings.HasPrefix(target, "mailto:")
+}
+
+func main() {
+	root := "."
+	if len(os.Args) > 1 {
+		root = os.Args[1]
+	}
+	broken := 0
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if d.Name() == ".git" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".md") {
+			return nil
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		for _, m := range linkRE.FindAllStringSubmatch(string(data), -1) {
+			target := m[1]
+			if external(target) || strings.HasPrefix(target, "#") {
+				continue
+			}
+			// Drop a trailing #section anchor; the file must still exist.
+			if i := strings.IndexByte(target, '#'); i >= 0 {
+				target = target[:i]
+			}
+			if target == "" {
+				continue
+			}
+			resolved := filepath.Join(filepath.Dir(path), filepath.FromSlash(target))
+			if _, err := os.Stat(resolved); err != nil {
+				fmt.Printf("%s: broken link %s\n", path, m[1])
+				broken++
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "checklinks:", err)
+		os.Exit(2)
+	}
+	if broken > 0 {
+		fmt.Printf("checklinks: %d broken link(s)\n", broken)
+		os.Exit(1)
+	}
+	fmt.Println("checklinks: all relative links resolve")
+}
