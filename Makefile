@@ -9,7 +9,8 @@ test:
 	$(GO) test ./...
 
 # check is the pre-merge gate: formatting, static analysis, doc links,
-# then the full suite under the race detector.
+# a quick race pass over the replica subsystem (the most concurrent
+# code in the repo), then the full suite under the race detector.
 check:
 	@unformatted=$$(gofmt -l .); \
 	if [ -n "$$unformatted" ]; then \
@@ -17,6 +18,7 @@ check:
 	fi
 	$(GO) vet ./...
 	$(MAKE) linkcheck
+	$(GO) test -race -run 'TestReplica' ./internal/replica ./internal/sim ./internal/store
 	$(GO) test -race ./...
 
 # linkcheck verifies every relative link in the repo's markdown files.
@@ -36,7 +38,10 @@ trace-demo:
 bench:
 	$(GO) test -json -run '^$$' -bench . -benchmem ./internal/minhash \
 		> BENCH_minhash.json
+	$(GO) test -json -run '^$$' -bench BenchmarkReplica -benchmem ./internal/replica \
+		> BENCH_replica.json
 	@$(GO) run ./cmd/rangebench -fig sig -quick
+	@$(GO) run ./cmd/rangebench -fig load -quick
 
 # bench-all runs every benchmark in the repo once, as a smoke test.
 bench-all:

@@ -60,6 +60,12 @@ func main() {
 		sigCache   = flag.Int("sigcache", 256, "signature-cache capacity (ranges); 0 disables")
 		workers    = flag.Int("hashworkers", 0, "goroutines signing large ranges; <=1 is serial")
 		debugAddr  = flag.String("debug-addr", "", "serve /debug/vars (expvar) and /debug/pprof on this address (empty disables)")
+
+		replicas     = flag.Int("replicas", 0, "successor copies per stored descriptor; 0 disables replication")
+		loadAware    = flag.Bool("load-aware", false, "route probes to the least-loaded live replica (needs -replicas)")
+		hotReplicas  = flag.Int("hot-replicas", 0, "replica-set size for hot buckets, owner included (0: 2*(replicas+1))")
+		hotThreshold = flag.Uint64("hot-threshold", 0, "decayed probe count promoting a bucket to the hot set (0: default 64)")
+		repairEvery  = flag.Duration("repair-every", 0, "anti-entropy repair interval (0: chord maintenance default)")
 	)
 	var publishes publishFlags
 	flag.Var(&publishes, "publish",
@@ -81,7 +87,12 @@ func main() {
 		DisableRerouting: *noReroute,
 		SigCache:         *sigCache,
 		HashWorkers:      *workers,
+		Replicas:         *replicas,
+		LoadAware:        *loadAware,
+		HotReplicas:      *hotReplicas,
+		HotThreshold:     *hotThreshold,
 	}
+	cfg.Stabilize.RepairEvery = *repairEvery
 	if *drop > 0 {
 		cfg.Fault = &transport.FaultConfig{Drop: *drop}
 	}

@@ -39,6 +39,7 @@ func main() {
 
 		sigCache    = flag.Int("sigcache", 0, "per-peer signature-cache capacity (ranges); 0 disables caching")
 		hashWorkers = flag.Int("hashworkers", 0, "goroutines signing the k*l hash functions of large ranges; <=1 is serial")
+		workloadP   = flag.String("workload", "", "query-distribution preset for quality runs: uniform (default) | zipf | clustered")
 		metricsOut  = flag.String("metrics-out", "", "write per-experiment metric deltas and the final snapshot to this JSON file")
 	)
 	flag.Parse()
@@ -59,6 +60,7 @@ func main() {
 	params.Seed = *seed
 	params.SigCache = *sigCache
 	params.HashWorkers = *hashWorkers
+	params.Workload = *workloadP
 
 	ids := []string{*fig}
 	if strings.EqualFold(*fig, "all") {

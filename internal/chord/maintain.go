@@ -29,6 +29,13 @@ type MaintainerConfig struct {
 	// [period*(1-Jitter), period*(1+Jitter)] so co-started nodes desynchronize.
 	// Zero means DefaultJitter; negative disables jitter.
 	Jitter float64
+	// Repair, when non-nil, runs periodically on the maintenance
+	// schedule. The replica subsystem attaches its anti-entropy round
+	// here so churn-lost copies are re-created in the background.
+	Repair func()
+	// RepairEvery is the period between Repair calls (default 2s; only
+	// meaningful when Repair is set).
+	RepairEvery time.Duration
 	// Logger receives protocol errors; nil silences them.
 	Logger *log.Logger
 }
@@ -43,6 +50,9 @@ func (c *MaintainerConfig) withDefaults() MaintainerConfig {
 	}
 	if out.CheckPredecessorEvery <= 0 {
 		out.CheckPredecessorEvery = time.Second
+	}
+	if out.RepairEvery <= 0 {
+		out.RepairEvery = 2 * time.Second
 	}
 	if out.Jitter == 0 {
 		out.Jitter = DefaultJitter
@@ -84,6 +94,10 @@ func StartMaintainer(node *Node, cfg MaintainerConfig) *Maintainer {
 	go m.loop(ctx, 2, m.cfg.CheckPredecessorEvery, func() {
 		node.CheckPredecessor()
 	})
+	if m.cfg.Repair != nil {
+		m.wg.Add(1)
+		go m.loop(ctx, 3, m.cfg.RepairEvery, m.cfg.Repair)
+	}
 	return m
 }
 

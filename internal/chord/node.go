@@ -176,6 +176,27 @@ func (n *Node) SuccessorList() []Ref {
 	return append([]Ref(nil), n.succs...)
 }
 
+// Successors returns up to k distinct successors, excluding this node
+// itself and zero entries — the placement set replication writes to. On
+// a ring smaller than k+1 nodes the result is shorter than k.
+func (n *Node) Successors(k int) []Ref {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	out := make([]Ref, 0, k)
+	seen := make(map[ID]bool, k)
+	for _, s := range n.succs {
+		if len(out) >= k {
+			break
+		}
+		if s.IsZero() || s.ID == n.ref.ID || seen[s.ID] {
+			continue
+		}
+		seen[s.ID] = true
+		out = append(out, s)
+	}
+	return out
+}
+
 // Fingers returns a copy of the finger table.
 func (n *Node) Fingers() []Ref {
 	n.mu.RLock()

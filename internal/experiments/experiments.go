@@ -45,6 +45,9 @@ type Params struct {
 	// large ranges (rangebench -hashworkers); 0 or 1 keeps signing
 	// serial, the deterministic-timing default for simulations.
 	HashWorkers int
+	// Workload names the query-distribution preset for quality runs
+	// (rangebench -workload): "uniform" (default), "zipf", "clustered".
+	Workload string
 }
 
 // FullDefaults returns the paper's parameters.

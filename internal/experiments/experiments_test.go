@@ -32,7 +32,7 @@ func TestRegistryComplete(t *testing.T) {
 	want := []string{
 		"5", "6a", "6b", "7", "8", "9", "10", "11a", "11b", "12a", "12b",
 		"kl", "peeridx", "workloads", "exact", "padding", "flood", "dht", "join", "capacity", "vnodes", "churn",
-		"sig",
+		"sig", "load",
 	}
 	for _, id := range want {
 		if _, ok := Lookup(id); !ok {
@@ -321,5 +321,21 @@ func TestTableRendering(t *testing.T) {
 		if !strings.Contains(out, frag) {
 			t.Errorf("rendering missing %q:\n%s", frag, out)
 		}
+	}
+}
+
+func TestLoadFigShape(t *testing.T) {
+	table := runQuick(t, "load")
+	if len(table.Rows) != 3 {
+		t.Fatalf("load has %d rows, want 3", len(table.Rows))
+	}
+	// Load-aware replication must cut the imbalance (max/mean, col 3)
+	// versus the single-copy baseline and keep success (col 4) high.
+	base, balanced := cell(t, table, 0, 3), cell(t, table, 2, 3)
+	if balanced >= base {
+		t.Errorf("load-aware imbalance %g not below baseline %g", balanced, base)
+	}
+	if s := cell(t, table, 2, 4); s < 99 {
+		t.Errorf("load-aware success %g%%, want >= 99%%", s)
 	}
 }

@@ -7,6 +7,7 @@ import (
 	"p2prange/internal/peer"
 	"p2prange/internal/sim"
 	"p2prange/internal/store"
+	"p2prange/internal/workload"
 )
 
 func init() {
@@ -37,16 +38,25 @@ func runQuality(p Params, f minhash.Family, measure store.Measure, padFrac float
 	if err != nil {
 		return nil, err
 	}
+	gen, err := workload.Preset(p.Workload, p.Seed)
+	if err != nil {
+		return nil, err
+	}
 	return sim.RunQuality(c, sim.QualityConfig{
-		Queries: p.Queries,
-		Seed:    p.Seed,
-		PadFrac: padFrac,
+		Queries:  p.Queries,
+		Seed:     p.Seed,
+		PadFrac:  padFrac,
+		Workload: gen,
 	})
 }
 
 func qualityNote(p Params, extra string) string {
-	s := fmt.Sprintf("%d uniform queries over [0,1000], k=%d l=%d, %d peers, first 20%% warm-up excluded",
-		p.Queries, minhash.DefaultK, minhash.DefaultL, p.ClusterN)
+	w := p.Workload
+	if w == "" {
+		w = "uniform"
+	}
+	s := fmt.Sprintf("%d %s queries over [0,1000], k=%d l=%d, %d peers, first 20%% warm-up excluded",
+		p.Queries, w, minhash.DefaultK, minhash.DefaultL, p.ClusterN)
 	if extra != "" {
 		s += "; " + extra
 	}

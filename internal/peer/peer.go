@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"p2prange/internal/chord"
@@ -11,6 +12,7 @@ import (
 	"p2prange/internal/minhash"
 	"p2prange/internal/rangeset"
 	"p2prange/internal/relation"
+	"p2prange/internal/replica"
 	"p2prange/internal/store"
 	"p2prange/internal/trace"
 	"p2prange/internal/transport"
@@ -103,7 +105,19 @@ type Config struct {
 	// Replicas pushes each stored descriptor to that many ring successors
 	// so an owner crash does not lose it: after the ring repairs, the
 	// bucket's new owner (the first successor) already holds the copy.
+	// Setting it enables the replica subsystem: version+origin stamping,
+	// anti-entropy repair (see RepairReplicas), and hot-bucket promotion.
 	Replicas int
+	// LoadAware routes each bucket probe to the least-loaded live member
+	// of the bucket's replica set instead of always its owner. Effective
+	// only with Replicas > 0.
+	LoadAware bool
+	// HotReplicas is the replica-set size for hot buckets (owner
+	// included; default 2*(Replicas+1)).
+	HotReplicas int
+	// HotThreshold is the decayed per-bucket probe count that promotes a
+	// bucket to HotReplicas copies (default replica.DefaultHotThreshold).
+	HotThreshold uint64
 	// CacheCapacity bounds the peer's descriptor store; on overflow the
 	// least-recently-matched descriptor evicts. 0 means unbounded (the
 	// paper's model).
@@ -130,11 +144,13 @@ type AuxHandler func(req any) (resp any, handled bool, err error)
 
 // Peer is one node of the system.
 type Peer struct {
-	cfg    Config
-	node   *chord.Node
-	store  *store.Store
-	caller transport.Caller
-	signer *minhash.Signer // non-nil when Scheme went through the pipeline
+	cfg     Config
+	node    *chord.Node
+	store   *store.Store
+	caller  transport.Caller
+	signer  *minhash.Signer  // non-nil when Scheme went through the pipeline
+	replica *replica.Manager // non-nil when Config.Replicas > 0
+	served  atomic.Int64     // bucket probes answered by this peer
 
 	mu   sync.RWMutex
 	data map[string]*relation.Partition // materialized partitions by Key()
@@ -174,7 +190,35 @@ func New(addr string, caller transport.Caller, cfg Config) (*Peer, error) {
 		p.signer = sg
 	}
 	p.node = chord.NewNode(addr, transport.ChordClient{Caller: caller}, cfg.Chord)
+	if cfg.Replicas > 0 {
+		// Config.Replicas counts successor copies; replica.Config.R counts
+		// total copies including the owner.
+		p.replica = replica.NewManager(p.node.Ref(), p.store, replica.Config{
+			R:            cfg.Replicas + 1,
+			RHot:         cfg.HotReplicas,
+			HotThreshold: cfg.HotThreshold,
+		}, replica.Deps{
+			Successors:   p.node.Successors,
+			SuccessorsOf: p.successorsOf,
+			Owns:         p.node.Owns,
+			Suspect:      p.node.MarkSuspect,
+			Push: func(to chord.Ref, id uint32, part store.Partition) error {
+				_, err := p.call(to, StoreReq{ID: id, Partition: part, Replica: true})
+				return err
+			},
+			Call: p.call,
+		})
+	}
 	return p, nil
+}
+
+// successorsOf fetches owner's successor list — the owner's replica set —
+// short-circuiting to local state when owner is this peer.
+func (p *Peer) successorsOf(owner chord.Ref) ([]chord.Ref, error) {
+	if owner.ID == p.node.ID() {
+		return p.node.SuccessorList(), nil
+	}
+	return transport.ChordClient{Caller: p.caller}.SuccessorList(owner.Addr)
 }
 
 // Node exposes the chord node (for ring construction and diagnostics).
@@ -196,6 +240,10 @@ func (p *Peer) Handle(req any) (any, error) {
 	}
 	switch r := req.(type) {
 	case FindBestReq:
+		p.served.Add(1)
+		if p.replica != nil {
+			p.replica.Hit(r.ID)
+		}
 		var m store.Match
 		var ok bool
 		if p.cfg.UsePeerIndex {
@@ -205,11 +253,26 @@ func (p *Peer) Handle(req any) (any, error) {
 		}
 		return FindBestResp{Match: m, Found: ok}, nil
 	case StoreReq:
+		if p.replica != nil && !r.Replica && !p.store.Has(r.ID, r.Partition) {
+			// Stamp only descriptors this owner is about to admit:
+			// re-stamping a duplicate would make every re-publish look
+			// newer than the stored copy and defeat first-holder-wins.
+			p.replica.Stamp(&r.Partition)
+		}
 		stored := p.store.Put(r.ID, r.Partition)
-		if stored && !r.Replica && p.cfg.Replicas > 0 {
-			p.replicate(r)
+		if stored && !r.Replica && p.replica != nil {
+			p.replica.Replicate(r.ID, r.Partition)
 		}
 		return StoreResp{Stored: stored}, nil
+	case replica.SyncReq:
+		// Answerable from the store alone, so a peer with replication
+		// disabled still reports honestly what it lacks.
+		return replica.SyncResp{Missing: p.store.MissingFrom(r.Digest)}, nil
+	case replica.LoadReq:
+		if p.replica != nil {
+			return p.replica.HandleLoad(r), nil
+		}
+		return replica.LoadResp{Load: p.served.Load(), Fanout: 1}, nil
 	case HandoffReq:
 		return p.handleHandoff(r)
 	case TransferArcReq:
@@ -236,23 +299,21 @@ func (p *Peer) Handle(req any) (any, error) {
 	}
 }
 
-// replicate pushes a freshly stored descriptor to the first Replicas
-// live successors. Replication is best-effort: an unreachable successor
-// is skipped (stabilization will drop it from the list anyway).
-func (p *Peer) replicate(r StoreReq) {
-	r.Replica = true
-	sent := 0
-	for _, succ := range p.node.SuccessorList() {
-		if sent >= p.cfg.Replicas {
-			return
-		}
-		if succ.IsZero() || succ.ID == p.node.ID() {
-			continue
-		}
-		if _, err := p.call(succ, r); err == nil {
-			sent++
-		}
+// Replica exposes the replication manager (nil when Replicas is 0).
+func (p *Peer) Replica() *replica.Manager { return p.replica }
+
+// ServedProbes returns how many bucket probes this peer has answered —
+// the per-peer load the load experiment compares across the cluster.
+func (p *Peer) ServedProbes() int64 { return p.served.Load() }
+
+// RepairReplicas runs one anti-entropy round against the successor list
+// (a no-op without replication). The chord Maintainer drives it in live
+// deployments; simulations call it between query batches.
+func (p *Peer) RepairReplicas() replica.SyncStats {
+	if p.replica == nil {
+		return replica.SyncStats{}
 	}
+	return p.replica.Sync()
 }
 
 // RegisterAux installs an auxiliary protocol handler, consulted for
@@ -371,12 +432,25 @@ func (p *Peer) LookupTraced(rel, attribute string, q rangeset.Range, cache bool,
 		}
 		res.Hops = append(res.Hops, hops)
 
-		owner, resp, err := p.callOwner(id, owner, FindBestReq{
+		req := FindBestReq{
 			ID: id, Relation: rel, Attribute: attribute, Range: q, Measure: p.cfg.Measure,
-		}, ps)
-		if err != nil {
-			ps.End()
-			return res, err
+		}
+		var resp any
+		if p.replica != nil && p.cfg.LoadAware {
+			// Load-aware selection: probe the least-loaded live member of
+			// the bucket's replica set. owners[i] stays the resolved owner
+			// — a later StoreReq must land there, not at a replica.
+			_, resp, _ = p.replica.ProbeBest(id, owner, func(to chord.Ref) (any, error) {
+				return p.call(to, req)
+			}, ps)
+		}
+		if resp == nil {
+			var err error
+			owner, resp, err = p.callOwner(id, owner, req, ps)
+			if err != nil {
+				ps.End()
+				return res, err
+			}
 		}
 		owners[i] = owner
 		fb, ok := resp.(FindBestResp)

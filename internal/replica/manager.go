@@ -1,0 +1,276 @@
+package replica
+
+import (
+	"sync/atomic"
+
+	"p2prange/internal/chord"
+	"p2prange/internal/metrics"
+	"p2prange/internal/store"
+	"p2prange/internal/transport"
+)
+
+// Defaults for Config's zero values.
+const (
+	// DefaultR is the replica-set size: each descriptor lives on its
+	// bucket owner plus R-1 successors.
+	DefaultR = 3
+	// DefaultHotThreshold is the decayed per-bucket hit count at which a
+	// bucket is promoted to the wide (RHot) replica set.
+	DefaultHotThreshold = 64
+)
+
+// The Default-registry replica.* family: replication, promotion, repair,
+// and selection counters aggregated across every peer in the process.
+var (
+	metPushed     = metrics.Default.Counter("replica.pushed")
+	metPushErrors = metrics.Default.Counter("replica.push_errors")
+	metPromotions = metrics.Default.Counter("replica.promotions")
+	metSyncRounds = metrics.Default.Counter("replica.sync_rounds")
+	metRepaired   = metrics.Default.Counter("replica.repaired")
+	metSyncErrors = metrics.Default.Counter("replica.sync_errors")
+	metLoadProbes = metrics.Default.Counter("replica.load_probes")
+	metSelections = metrics.Default.Counter("replica.selections")
+	metDiverted   = metrics.Default.Counter("replica.diverted")
+	metFallbacks  = metrics.Default.Counter("replica.fallbacks")
+)
+
+// Wire messages of the replica protocol. The peer layer dispatches them
+// alongside its partition protocol.
+type (
+	// SyncReq carries an owner's version vector for the buckets a
+	// replica should hold; the replica answers with what it lacks.
+	SyncReq struct {
+		Digest store.Digest
+	}
+	// SyncResp lists the descriptor keys (per bucket) that are missing
+	// or stale at the replica.
+	SyncResp struct {
+		Missing map[uint32][]string
+	}
+	// LoadReq asks a peer for its current query-load gauge and the
+	// replica fan-out of bucket ID (R, or RHot when the bucket is hot).
+	LoadReq struct {
+		ID uint32
+	}
+	// LoadResp reports the gauge and fan-out the selection ranks on.
+	LoadResp struct {
+		Load   int64
+		Fanout int
+	}
+)
+
+func init() {
+	for _, v := range []any{SyncReq{}, SyncResp{}, LoadReq{}, LoadResp{}} {
+		transport.RegisterType(v)
+	}
+}
+
+// Config parameterizes a Manager. The zero value enables nothing; R must
+// be at least 2 for replication to place any copies.
+type Config struct {
+	// R is the replica-set size per descriptor: the bucket owner plus
+	// R-1 successors (default DefaultR).
+	R int
+	// RHot is the replica-set size for hot buckets (default 2*R).
+	RHot int
+	// HotThreshold is the decayed hit count promoting a bucket to RHot
+	// copies (default DefaultHotThreshold).
+	HotThreshold uint64
+}
+
+func (c Config) withDefaults() Config {
+	if c.R <= 0 {
+		c.R = DefaultR
+	}
+	if c.RHot < c.R {
+		c.RHot = 2 * c.R
+	}
+	if c.HotThreshold == 0 {
+		c.HotThreshold = DefaultHotThreshold
+	}
+	return c
+}
+
+// Deps are the closures a Manager uses to reach the rest of the peer: it
+// owns no transport or routing state of its own.
+type Deps struct {
+	// Successors returns up to k distinct ring successors of this peer
+	// (the placement set).
+	Successors func(k int) []chord.Ref
+	// SuccessorsOf fetches the successor list of another peer (the
+	// replica set of a remote owner, for query-side selection).
+	SuccessorsOf func(owner chord.Ref) ([]chord.Ref, error)
+	// Owns reports whether this peer currently owns bucket id; only
+	// owned buckets are offered during anti-entropy, so copies do not
+	// cascade replica-to-replica around the ring.
+	Owns func(id uint32) bool
+	// Suspect excludes a peer that failed an RPC from routing.
+	Suspect func(id chord.ID)
+	// Push writes one descriptor copy to a replica.
+	Push func(to chord.Ref, id uint32, p store.Partition) error
+	// Call issues a replica-protocol request (SyncReq, LoadReq).
+	Call func(to chord.Ref, req any) (any, error)
+}
+
+// Manager runs one peer's side of the replication subsystem: stamping
+// and pushing copies on publish, promoting hot buckets, answering load
+// probes, and repairing replicas by anti-entropy. All methods are safe
+// for concurrent use.
+type Manager struct {
+	cfg     Config
+	self    chord.Ref
+	st      *store.Store
+	deps    Deps
+	tracker *Tracker
+	ver     atomic.Uint64
+}
+
+// NewManager builds a manager for the peer at self over its store.
+func NewManager(self chord.Ref, st *store.Store, cfg Config, deps Deps) *Manager {
+	cfg = cfg.withDefaults()
+	return &Manager{
+		cfg:     cfg,
+		self:    self,
+		st:      st,
+		deps:    deps,
+		tracker: NewTracker(cfg.HotThreshold),
+	}
+}
+
+// Stamp tags a descriptor this peer is about to admit as bucket owner:
+// a locally monotonic version and this peer's address as origin. Call it
+// only for descriptors not already stored (re-stamping a duplicate would
+// make every re-publish look newer than the stored copy).
+func (m *Manager) Stamp(p *store.Partition) {
+	p.Version = m.ver.Add(1)
+	p.Origin = m.self.Addr
+}
+
+// Fanout returns the replica-set size of bucket id: RHot while the
+// bucket is hot, R otherwise.
+func (m *Manager) Fanout(id uint32) int {
+	if m.tracker.Hot(id) {
+		return m.cfg.RHot
+	}
+	return m.cfg.R
+}
+
+// Load returns this peer's query-load gauge (decayed recent probe hits).
+func (m *Manager) Load() int64 { return m.tracker.Load() }
+
+// HandleLoad answers a LoadReq.
+func (m *Manager) HandleLoad(r LoadReq) LoadResp {
+	return LoadResp{Load: m.tracker.Load(), Fanout: m.Fanout(r.ID)}
+}
+
+// HandleSync answers a SyncReq with the keys this peer lacks.
+func (m *Manager) HandleSync(r SyncReq) SyncResp {
+	return SyncResp{Missing: m.st.MissingFrom(r.Digest)}
+}
+
+// Replicate pushes a freshly admitted descriptor to the first Fanout-1
+// successors. Pushes are best-effort — an unreachable successor is
+// counted and skipped; the anti-entropy loop re-creates the copy once
+// the node recovers or the list repairs. Returns the copies written.
+func (m *Manager) Replicate(id uint32, p store.Partition) int {
+	return m.push(id, p, m.Fanout(id)-1)
+}
+
+func (m *Manager) push(id uint32, p store.Partition, copies int) int {
+	if copies <= 0 {
+		return 0
+	}
+	sent := 0
+	for _, succ := range m.deps.Successors(copies) {
+		if err := m.deps.Push(succ, id, p); err != nil {
+			metPushErrors.Inc()
+			continue
+		}
+		metPushed.Inc()
+		sent++
+	}
+	return sent
+}
+
+// Hit records one probe served for bucket id. When the hit promotes the
+// bucket to hot, its descriptors are immediately re-replicated at the
+// wide fan-out so the extra copies exist before the next burst arrives.
+// Only the bucket's owner pushes — a replica that serves diverted probes
+// tracks its own heat but must not scatter copies to its successors,
+// which are not the bucket's replica set.
+func (m *Manager) Hit(id uint32) {
+	if !m.tracker.Hit(id) {
+		return
+	}
+	metPromotions.Inc()
+	if m.deps.Owns != nil && !m.deps.Owns(id) {
+		return
+	}
+	for _, p := range m.st.Bucket(id) {
+		m.push(id, p, m.cfg.RHot-1)
+	}
+}
+
+// SyncStats summarizes one anti-entropy round.
+type SyncStats struct {
+	// Peers is the number of successors that answered a digest exchange.
+	Peers int
+	// Repaired is the number of descriptor copies re-created.
+	Repaired int
+	// Errors counts unreachable successors and failed pushes.
+	Errors int
+}
+
+// Sync runs one anti-entropy round: for each successor in the replica
+// set, send the version vector of the owned buckets that successor
+// should replicate (successor i holds copies of buckets with fan-out
+// > i+1), and push full descriptors for whatever it reports missing.
+// Sync also decays the popularity tracker, so the hot set and the load
+// gauge both measure the window since the last repair period.
+func (m *Manager) Sync() SyncStats {
+	metSyncRounds.Inc()
+	m.tracker.Decay()
+	var stats SyncStats
+	for i, succ := range m.deps.Successors(m.cfg.RHot - 1) {
+		depth := i + 1 // succ holds copies of buckets with Fanout > depth
+		digest := m.st.Digest(func(id store.ID) bool {
+			return m.deps.Owns(id) && m.Fanout(id) > depth
+		})
+		if len(digest) == 0 {
+			continue
+		}
+		resp, err := m.deps.Call(succ, SyncReq{Digest: digest})
+		if err != nil {
+			metSyncErrors.Inc()
+			stats.Errors++
+			if transport.Retryable(err) {
+				m.deps.Suspect(succ.ID)
+			}
+			continue
+		}
+		sr, ok := resp.(SyncResp)
+		if !ok {
+			metSyncErrors.Inc()
+			stats.Errors++
+			continue
+		}
+		stats.Peers++
+		for id, keys := range sr.Missing {
+			for _, key := range keys {
+				p, held := m.st.Get(id, key)
+				if !held {
+					continue // evicted since the digest was built
+				}
+				if err := m.deps.Push(succ, id, p); err != nil {
+					metPushErrors.Inc()
+					stats.Errors++
+					continue
+				}
+				metPushed.Inc()
+				metRepaired.Inc()
+				stats.Repaired++
+			}
+		}
+	}
+	return stats
+}

@@ -1,0 +1,377 @@
+package replica
+
+import (
+	"sync"
+	"testing"
+
+	"p2prange/internal/chord"
+	"p2prange/internal/rangeset"
+	"p2prange/internal/store"
+	"p2prange/internal/transport"
+)
+
+func ref(i int) chord.Ref {
+	return chord.Ref{ID: uint32(i), Addr: string(rune('a' + i))}
+}
+
+func part(lo, hi int64) store.Partition {
+	return store.Partition{Relation: "R", Attribute: "a", Range: rangeset.Range{Lo: lo, Hi: hi}, Holder: "h"}
+}
+
+// fakeRing is a transport-free cluster of stores: the manager under test
+// sits at refs[0] and sees refs[1:] as its successor list.
+type fakeRing struct {
+	mu     sync.Mutex
+	refs   []chord.Ref
+	stores map[chord.ID]*store.Store
+	loads  map[chord.ID]int64
+	down   map[chord.ID]bool
+	fanout int // fan-out every fake peer reports for LoadReq
+}
+
+func newFakeRing(n int) *fakeRing {
+	r := &fakeRing{
+		stores: make(map[chord.ID]*store.Store),
+		loads:  make(map[chord.ID]int64),
+		down:   make(map[chord.ID]bool),
+		fanout: 1,
+	}
+	for i := 0; i < n; i++ {
+		r.refs = append(r.refs, ref(i))
+		r.stores[uint32(i)] = store.New()
+	}
+	return r
+}
+
+func (r *fakeRing) deps() Deps {
+	return Deps{
+		Successors: func(k int) []chord.Ref {
+			if k > len(r.refs)-1 {
+				k = len(r.refs) - 1
+			}
+			return append([]chord.Ref(nil), r.refs[1:1+k]...)
+		},
+		SuccessorsOf: func(owner chord.Ref) ([]chord.Ref, error) {
+			return append([]chord.Ref(nil), r.refs[1:]...), nil
+		},
+		Owns:    func(id uint32) bool { return true },
+		Suspect: func(id chord.ID) {},
+		Push: func(to chord.Ref, id uint32, p store.Partition) error {
+			r.mu.Lock()
+			defer r.mu.Unlock()
+			if r.down[to.ID] {
+				return transport.ErrUnknownAddr
+			}
+			r.stores[to.ID].Put(id, p)
+			return nil
+		},
+		Call: func(to chord.Ref, req any) (any, error) {
+			r.mu.Lock()
+			defer r.mu.Unlock()
+			if r.down[to.ID] {
+				return nil, transport.ErrUnknownAddr
+			}
+			switch q := req.(type) {
+			case SyncReq:
+				return SyncResp{Missing: r.stores[to.ID].MissingFrom(q.Digest)}, nil
+			case LoadReq:
+				return LoadResp{Load: r.loads[to.ID], Fanout: r.fanout}, nil
+			}
+			return nil, transport.BadRequest(req)
+		},
+	}
+}
+
+func (r *fakeRing) manager(cfg Config) *Manager {
+	return NewManager(r.refs[0], r.stores[r.refs[0].ID], cfg, r.deps())
+}
+
+func TestReplicaTrackerPromotionAndDecay(t *testing.T) {
+	tr := NewTracker(4)
+	for i := 0; i < 3; i++ {
+		if tr.Hit(7) {
+			t.Fatalf("promoted after %d hits, threshold 4", i+1)
+		}
+	}
+	if !tr.Hit(7) {
+		t.Fatal("4th hit should promote")
+	}
+	if tr.Hit(7) {
+		t.Fatal("promotion should fire exactly once")
+	}
+	if !tr.Hot(7) || tr.Hot(8) {
+		t.Fatal("hot set wrong")
+	}
+	if tr.Load() != 5 {
+		t.Fatalf("Load = %d, want 5", tr.Load())
+	}
+	tr.Decay() // 5 -> 2, still >= threshold/2: stays hot
+	if !tr.Hot(7) {
+		t.Fatal("decay to 2 should keep bucket hot (demotion at <2)")
+	}
+	tr.Decay() // 2 -> 1 < threshold/2: demoted
+	if tr.Hot(7) {
+		t.Fatal("bucket should demote once cooled below threshold/2")
+	}
+	promoted := false
+	for i := 0; i < 4 && !promoted; i++ {
+		promoted = tr.Hit(7)
+	}
+	if !promoted {
+		t.Fatal("cooled bucket should be promotable again")
+	}
+}
+
+func TestReplicaStampAndReplicate(t *testing.T) {
+	r := newFakeRing(5)
+	m := r.manager(Config{R: 3})
+	p := part(0, 10)
+	m.Stamp(&p)
+	if p.Version != 1 || p.Origin != r.refs[0].Addr {
+		t.Fatalf("stamped %+v, want version 1 origin %q", p, r.refs[0].Addr)
+	}
+	if sent := m.Replicate(42, p); sent != 2 {
+		t.Fatalf("Replicate sent %d copies, want R-1 = 2", sent)
+	}
+	for _, i := range []int{1, 2} {
+		if got := r.stores[uint32(i)].Bucket(42); len(got) != 1 || got[0].Version != 1 {
+			t.Errorf("successor %d: bucket = %+v, want the stamped copy", i, got)
+		}
+	}
+	if len(r.stores[3].Bucket(42)) != 0 {
+		t.Error("copy placed beyond the replica set")
+	}
+	var q = part(20, 30)
+	m.Stamp(&q)
+	if q.Version != 2 {
+		t.Errorf("versions not monotonic: %d", q.Version)
+	}
+}
+
+func TestReplicaReplicateSkipsDeadSuccessor(t *testing.T) {
+	r := newFakeRing(4)
+	r.down[1] = true
+	m := r.manager(Config{R: 3})
+	p := part(0, 10)
+	m.Stamp(&p)
+	r.stores[0].Put(42, p)
+	// Placement is fixed (first R-1 successors), so a dead successor
+	// means a lost copy now — anti-entropy repairs it later.
+	if sent := m.Replicate(42, p); sent != 1 {
+		t.Fatalf("sent %d, want 1 (successor 1 down)", sent)
+	}
+	r.down[1] = false
+	st := m.Sync()
+	if st.Repaired != 1 {
+		t.Fatalf("Sync repaired %d, want 1", st.Repaired)
+	}
+	if got := r.stores[1].Bucket(42); len(got) != 1 {
+		t.Errorf("successor 1 not repaired: %v", got)
+	}
+}
+
+func TestReplicaSyncRepairsStaleAndMissing(t *testing.T) {
+	r := newFakeRing(4)
+	m := r.manager(Config{R: 3})
+	a, b := part(0, 10), part(20, 30)
+	m.Stamp(&a)
+	m.Stamp(&b)
+	r.stores[0].Put(1, a)
+	r.stores[0].Put(2, b)
+	stale := a
+	stale.Version = 0
+	r.stores[1].Put(1, stale) // successor 1: stale copy of a, no b
+	// successor 2: nothing at all
+
+	st := m.Sync()
+	if st.Peers != 2 {
+		t.Fatalf("synced %d peers, want 2", st.Peers)
+	}
+	if st.Repaired != 4 { // a+b at successor 2, a(upgrade)+b at successor 1
+		t.Fatalf("repaired %d copies, want 4", st.Repaired)
+	}
+	for _, i := range []int{1, 2} {
+		if got := r.stores[uint32(i)].Bucket(1); len(got) != 1 || got[0].Version != a.Version {
+			t.Errorf("successor %d bucket 1 = %+v", i, got)
+		}
+		if got := r.stores[uint32(i)].Bucket(2); len(got) != 1 {
+			t.Errorf("successor %d missing bucket 2", i)
+		}
+	}
+	// Converged: a second round repairs nothing.
+	if st := m.Sync(); st.Repaired != 0 {
+		t.Errorf("second Sync repaired %d, want 0", st.Repaired)
+	}
+}
+
+func TestReplicaSyncOffersOnlyOwnedBuckets(t *testing.T) {
+	r := newFakeRing(3)
+	deps := r.deps()
+	deps.Owns = func(id uint32) bool { return id == 1 }
+	m := NewManager(r.refs[0], r.stores[0], Config{R: 3}, deps)
+	a, b := part(0, 10), part(20, 30)
+	m.Stamp(&a)
+	m.Stamp(&b)
+	r.stores[0].Put(1, a) // owned
+	r.stores[0].Put(2, b) // a replica this peer merely holds
+	m.Sync()
+	for _, i := range []int{1, 2} {
+		if len(r.stores[uint32(i)].Bucket(2)) != 0 {
+			t.Errorf("successor %d received a copy of an unowned bucket", i)
+		}
+	}
+	if len(r.stores[1].Bucket(1)) != 1 {
+		t.Error("owned bucket not replicated")
+	}
+}
+
+func TestReplicaHitPromotionWidensSet(t *testing.T) {
+	r := newFakeRing(7)
+	m := r.manager(Config{R: 2, RHot: 4, HotThreshold: 3})
+	p := part(0, 10)
+	m.Stamp(&p)
+	r.stores[0].Put(9, p)
+	m.Replicate(9, p)
+	if len(r.stores[2].Bucket(9)) != 0 {
+		t.Fatal("cold bucket should have R-1 = 1 copy")
+	}
+	for i := 0; i < 3; i++ {
+		m.Hit(9)
+	}
+	if m.Fanout(9) != 4 {
+		t.Fatalf("Fanout = %d after promotion, want RHot = 4", m.Fanout(9))
+	}
+	for _, i := range []int{1, 2, 3} {
+		if len(r.stores[uint32(i)].Bucket(9)) != 1 {
+			t.Errorf("successor %d lacks the widened copy", i)
+		}
+	}
+	if len(r.stores[4].Bucket(9)) != 0 {
+		t.Error("copy placed beyond RHot-1 successors")
+	}
+}
+
+func TestReplicaProbeBestPicksLeastLoaded(t *testing.T) {
+	r := newFakeRing(4)
+	r.fanout = 3
+	m := r.manager(Config{R: 3})
+	r.loads[0], r.loads[1], r.loads[2] = 10, 2, 7
+	var served chord.Ref
+	probe := func(to chord.Ref) (any, error) {
+		served = to
+		return "resp", nil
+	}
+	got, resp, ok := m.ProbeBest(5, r.refs[0], probe, nil)
+	if !ok || resp != "resp" {
+		t.Fatalf("ProbeBest failed: ok=%v resp=%v", ok, resp)
+	}
+	if got.ID != 1 || served.ID != 1 {
+		t.Errorf("served by %v, want least-loaded peer 1", served)
+	}
+}
+
+func TestReplicaProbeBestFallsThroughDeadReplicas(t *testing.T) {
+	r := newFakeRing(4)
+	r.fanout = 3
+	m := r.manager(Config{R: 3})
+	r.loads[0], r.loads[1], r.loads[2] = 10, 2, 7
+	probe := func(to chord.Ref) (any, error) {
+		if to.ID == 1 {
+			return nil, transport.ErrUnknownAddr // least-loaded copy just died
+		}
+		return to.ID, nil
+	}
+	got, resp, ok := m.ProbeBest(5, r.refs[0], probe, nil)
+	if !ok {
+		t.Fatal("ProbeBest should fall through to the next candidate")
+	}
+	if got.ID != 2 || resp != uint32(2) {
+		t.Errorf("served by %v, want next-least-loaded peer 2", got)
+	}
+}
+
+func TestReplicaProbeBestOwnerDownFallsBack(t *testing.T) {
+	r := newFakeRing(3)
+	m := r.manager(Config{R: 3})
+	r.down[0] = true
+	suspected := false
+	deps := r.deps()
+	deps.Suspect = func(id chord.ID) { suspected = suspected || id == 0 }
+	m.deps = deps
+	_, _, ok := m.ProbeBest(5, r.refs[0], func(chord.Ref) (any, error) { return nil, nil }, nil)
+	if ok {
+		t.Fatal("ProbeBest should report fallback when the owner cannot be load-probed")
+	}
+	if !suspected {
+		t.Error("dead owner not marked suspect")
+	}
+}
+
+// TestReplicaManagerConcurrency exercises the manager's shared state
+// (tracker counts, version counter, store) from racing goroutines; run
+// under -race it is the data-race gate for the subsystem.
+func TestReplicaManagerConcurrency(t *testing.T) {
+	r := newFakeRing(6)
+	r.fanout = 3
+	m := r.manager(Config{R: 3, HotThreshold: 8})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				p := part(int64(i), int64(i)+10)
+				m.Stamp(&p)
+				id := uint32(i % 7)
+				r.stores[0].Put(id, p)
+				m.Replicate(id, p)
+				m.Hit(id)
+				if i%50 == 0 {
+					m.Sync()
+				}
+				m.ProbeBest(id, r.refs[0], func(chord.Ref) (any, error) { return nil, nil }, nil)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if m.Load() == 0 {
+		t.Error("tracker recorded no load")
+	}
+}
+
+func BenchmarkReplicaTrackerHit(b *testing.B) {
+	tr := NewTracker(DefaultHotThreshold)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.Hit(uint32(i % 512))
+	}
+}
+
+func BenchmarkReplicaSyncConverged(b *testing.B) {
+	r := newFakeRing(4)
+	m := r.manager(Config{R: 3})
+	for i := 0; i < 256; i++ {
+		p := part(int64(i)*10, int64(i)*10+5)
+		m.Stamp(&p)
+		r.stores[0].Put(uint32(i%32), p)
+		m.Replicate(uint32(i%32), p)
+	}
+	m.Sync() // converge
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Sync()
+	}
+}
+
+func BenchmarkReplicaProbeBest(b *testing.B) {
+	r := newFakeRing(4)
+	r.fanout = 3
+	m := r.manager(Config{R: 3})
+	probe := func(chord.Ref) (any, error) { return nil, nil }
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.ProbeBest(5, r.refs[0], probe, nil)
+	}
+}

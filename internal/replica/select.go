@@ -1,0 +1,107 @@
+package replica
+
+import (
+	"sort"
+
+	"p2prange/internal/chord"
+	"p2prange/internal/trace"
+	"p2prange/internal/transport"
+)
+
+// Candidate is one member of a bucket's replica set with its probed load.
+type Candidate struct {
+	Ref  chord.Ref
+	Load int64
+}
+
+// SortByLoad orders candidates by ascending load, keeping the original
+// order (owner first, then ring order) on ties. Stability matters: with
+// equal gauges the owner keeps serving, so an idle system behaves
+// exactly like the unreplicated protocol.
+func SortByLoad(cands []Candidate) {
+	sort.SliceStable(cands, func(i, j int) bool { return cands[i].Load < cands[j].Load })
+}
+
+// ProbeBest sends a bucket probe to the least-loaded live member of
+// bucket id's replica set instead of its owner: it asks the owner for
+// its load gauge and the bucket's fan-out, probes the gauges of the
+// owner's first fanout-1 successors, ranks the live candidates by load,
+// and invokes probe against each in that order until one answers.
+// Unreachable candidates are marked suspect and skipped.
+//
+// ok is false when the owner could not be load-probed or every candidate
+// failed; the caller should fall back to the plain owner path (which
+// re-resolves via the suspect machinery). Selection decisions land on sp.
+func (m *Manager) ProbeBest(id uint32, owner chord.Ref, probe func(chord.Ref) (any, error), sp *trace.Span) (chord.Ref, any, bool) {
+	cands := m.rank(id, owner, sp)
+	for i, c := range cands {
+		resp, err := probe(c.Ref)
+		if err != nil {
+			if transport.Retryable(err) {
+				m.deps.Suspect(c.Ref.ID)
+			}
+			if sp.On() {
+				sp.Eventf("replica", "%s failed (%v), trying next", c.Ref, err)
+			}
+			continue
+		}
+		metSelections.Inc()
+		if c.Ref.ID != owner.ID {
+			metDiverted.Inc()
+		}
+		if sp.On() {
+			sp.Eventf("replica", "served by %s load=%d (candidate %d/%d)", c.Ref, c.Load, i+1, len(cands))
+		}
+		return c.Ref, resp, true
+	}
+	metFallbacks.Inc()
+	if sp.On() {
+		sp.Eventf("replica", "no live replica of %d candidates, falling back to owner", len(cands))
+	}
+	return chord.Ref{}, nil, false
+}
+
+// rank builds the load-ordered candidate list for bucket id: the owner
+// plus the first fanout-1 entries of the owner's successor list, each
+// annotated with its probed load gauge. Peers that fail the load probe
+// are suspected and dropped.
+func (m *Manager) rank(id uint32, owner chord.Ref, sp *trace.Span) []Candidate {
+	metLoadProbes.Inc()
+	resp, err := m.deps.Call(owner, LoadReq{ID: id})
+	lr, ok := resp.(LoadResp)
+	if err != nil || !ok {
+		if err != nil && transport.Retryable(err) {
+			m.deps.Suspect(owner.ID)
+		}
+		return nil
+	}
+	cands := []Candidate{{Ref: owner, Load: lr.Load}}
+	if lr.Fanout <= 1 {
+		return cands
+	}
+	list, err := m.deps.SuccessorsOf(owner)
+	if err != nil {
+		return cands
+	}
+	for _, s := range list {
+		if len(cands) >= lr.Fanout {
+			break
+		}
+		if s.IsZero() || s.ID == owner.ID {
+			continue
+		}
+		metLoadProbes.Inc()
+		resp, err := m.deps.Call(s, LoadReq{ID: id})
+		if err != nil {
+			if transport.Retryable(err) {
+				m.deps.Suspect(s.ID)
+			}
+			continue
+		}
+		if lr, ok := resp.(LoadResp); ok {
+			cands = append(cands, Candidate{Ref: s, Load: lr.Load})
+		}
+	}
+	SortByLoad(cands)
+	return cands
+}

@@ -1,0 +1,77 @@
+package replica
+
+import "sync"
+
+// Tracker counts per-identifier probe hits at a bucket owner and decides
+// which buckets are hot. Counts decay geometrically (halved each Decay
+// call, driven by the anti-entropy loop), so "hot" means recently
+// popular, not popular once. Safe for concurrent use.
+type Tracker struct {
+	threshold uint64
+	mu        sync.Mutex
+	hits      map[uint32]uint64
+	hot       map[uint32]bool
+	total     uint64
+}
+
+// NewTracker returns a tracker promoting buckets whose decayed hit count
+// reaches threshold.
+func NewTracker(threshold uint64) *Tracker {
+	return &Tracker{
+		threshold: threshold,
+		hits:      make(map[uint32]uint64),
+		hot:       make(map[uint32]bool),
+	}
+}
+
+// Hit records one probe against bucket id and reports whether the bucket
+// just crossed the hot threshold (true exactly once per promotion; a
+// bucket that cools via Decay below half the threshold can be promoted
+// again later).
+func (t *Tracker) Hit(id uint32) (promoted bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.hits[id]++
+	t.total++
+	if !t.hot[id] && t.hits[id] >= t.threshold {
+		t.hot[id] = true
+		return true
+	}
+	return false
+}
+
+// Hot reports whether bucket id is currently promoted.
+func (t *Tracker) Hot(id uint32) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.hot[id]
+}
+
+// Load returns the decayed total hit count — the peer's query-load gauge
+// that replica selection compares across copies.
+func (t *Tracker) Load() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return int64(t.total)
+}
+
+// Decay halves every count (dropping zeros) and demotes buckets that
+// cooled below half the threshold. Hysteresis — promote at threshold,
+// demote at threshold/2 — keeps a bucket hovering at the boundary from
+// flapping between replica sets.
+func (t *Tracker) Decay() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.total /= 2
+	for id, h := range t.hits {
+		h /= 2
+		if h == 0 {
+			delete(t.hits, id)
+		} else {
+			t.hits[id] = h
+		}
+		if t.hot[id] && h < t.threshold/2 {
+			delete(t.hot, id)
+		}
+	}
+}

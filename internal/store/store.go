@@ -15,11 +15,21 @@ type ID = uint32
 // Relation selected by Range over Attribute, materialized at the peer
 // with transport address Holder. The descriptor is what travels through
 // the DHT; tuple data is fetched from the holder afterwards.
+//
+// Version and Origin are replication metadata: the bucket owner that
+// first admitted the descriptor stamps it with its own address and a
+// locally monotonic version, and pushes the stamped copy to its
+// successors. Anti-entropy compares versions per descriptor key, so a
+// replica holding an older (or no) copy is repaired from the owner.
+// Identity (Key) is unversioned — two copies of the same partition at
+// different versions are the same descriptor, newest metadata wins.
 type Partition struct {
 	Relation  string
 	Attribute string
 	Range     rangeset.Range
 	Holder    string
+	Version   uint64
+	Origin    string
 }
 
 // Key is the identity of a partition for deduplication.
@@ -110,13 +120,20 @@ func entryKey(id ID, p Partition) string {
 // Put stores the partition descriptor in bucket id. Exact duplicates
 // (same relation, attribute, and range) are ignored; the first holder
 // wins, as in the paper's protocol where only missing partitions are
-// cached. It reports whether the descriptor was newly stored. A bounded
-// store at capacity evicts its least-recently-matched descriptor first.
+// cached. The one exception is replication metadata: a duplicate
+// carrying a strictly higher Version replaces the stored copy in place,
+// so anti-entropy can upgrade an unstamped or stale replica without
+// changing the descriptor count. It reports whether the descriptor was
+// newly stored. A bounded store at capacity evicts its
+// least-recently-matched descriptor first.
 func (s *Store) Put(id ID, p Partition) bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	for _, q := range s.buckets[id] {
+	for i, q := range s.buckets[id] {
 		if q.Relation == p.Relation && q.Attribute == p.Attribute && q.Range == p.Range {
+			if p.Version > q.Version {
+				s.buckets[id][i] = p
+			}
 			return false
 		}
 	}
@@ -188,11 +205,26 @@ func (s *Store) FindBestAnywhere(relation, attribute string, q rangeset.Range, m
 	var best Match
 	found := false
 	for _, bucket := range s.buckets {
-		if m, ok := bestOf(bucket, relation, attribute, q, measure); ok && (!found || m.Score > best.Score) {
+		if m, ok := bestOf(bucket, relation, attribute, q, measure); ok && (!found || better(m, best)) {
 			best, found = m, true
 		}
 	}
 	return best, found
+}
+
+// better reports whether candidate m beats the current best: higher
+// score, or — on an exact score tie — the lexicographically lowest
+// partition key. The tie-break keeps replicated copies deterministic:
+// different peers hold the same descriptors in different append orders
+// (and FindBestAnywhere walks buckets in map order), so without it
+// equally-scored candidates would resolve differently per replica and
+// load-aware replica routing would return answer A or B depending on
+// which copy served the probe.
+func better(m, best Match) bool {
+	if m.Score != best.Score {
+		return m.Score > best.Score
+	}
+	return m.Partition.Key() < best.Partition.Key()
 }
 
 func bestOf(bucket []Partition, relation, attribute string, q rangeset.Range, measure Measure) (Match, bool) {
@@ -202,9 +234,9 @@ func bestOf(bucket []Partition, relation, attribute string, q rangeset.Range, me
 		if p.Relation != relation || p.Attribute != attribute {
 			continue
 		}
-		score := measure.Score(q, p.Range)
-		if !found || score > best.Score {
-			best = Match{Partition: p, Score: score}
+		m := Match{Partition: p, Score: measure.Score(q, p.Range)}
+		if !found || better(m, best) {
+			best = m
 			found = true
 		}
 	}
@@ -272,6 +304,82 @@ func (s *Store) Absorb(buckets map[ID][]Partition) {
 			s.Put(id, p)
 		}
 	}
+}
+
+// Has reports whether bucket id already holds a descriptor with p's
+// identity (relation, attribute, range), at any version.
+func (s *Store) Has(id ID, p Partition) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for _, q := range s.buckets[id] {
+		if q.Relation == p.Relation && q.Attribute == p.Attribute && q.Range == p.Range {
+			return true
+		}
+	}
+	return false
+}
+
+// Get returns the descriptor in bucket id with the given Key.
+func (s *Store) Get(id ID, key string) (Partition, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for _, p := range s.buckets[id] {
+		if p.Key() == key {
+			return p, true
+		}
+	}
+	return Partition{}, false
+}
+
+// Digest is a version vector over a set of buckets: descriptor key ->
+// version, per bucket. Anti-entropy ships digests instead of descriptors
+// so only missing or stale copies travel.
+type Digest = map[ID]map[string]uint64
+
+// Digest summarizes every bucket accepted by keep (nil keeps all) as
+// descriptor-key -> version maps.
+func (s *Store) Digest(keep func(ID) bool) Digest {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make(Digest)
+	for id, bucket := range s.buckets {
+		if keep != nil && !keep(id) {
+			continue
+		}
+		vv := make(map[string]uint64, len(bucket))
+		for _, p := range bucket {
+			vv[p.Key()] = p.Version
+		}
+		out[id] = vv
+	}
+	return out
+}
+
+// MissingFrom compares an offered digest against local state and returns
+// the keys this store lacks — absent entirely, or held at a strictly
+// lower version. The sender repairs the returned keys by pushing full
+// descriptors.
+func (s *Store) MissingFrom(offered Digest) map[ID][]string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var missing map[ID][]string
+	for id, vv := range offered {
+		local := make(map[string]uint64, len(s.buckets[id]))
+		for _, p := range s.buckets[id] {
+			local[p.Key()] = p.Version
+		}
+		for key, ver := range vv {
+			have, ok := local[key]
+			if ok && have >= ver {
+				continue
+			}
+			if missing == nil {
+				missing = make(map[ID][]string)
+			}
+			missing[id] = append(missing[id], key)
+		}
+	}
+	return missing
 }
 
 // betweenRightIncl mirrors chord.BetweenRightIncl without importing chord.

@@ -337,3 +337,101 @@ func TestUnboundedStoreNeverEvicts(t *testing.T) {
 		t.Errorf("unbounded store evicted: Len = %d", s.Len())
 	}
 }
+
+func TestFindBestBreaksTiesDeterministically(t *testing.T) {
+	// Two candidates overlapping the query symmetrically, so their
+	// Jaccard scores tie exactly.
+	q := rangeset.Range{Lo: 20, Hi: 30}
+	a := part(10, 25) // overlap [20,25]: 6/21
+	b := part(25, 40) // overlap [25,30]: 6/21
+	if q.Jaccard(a.Range) != q.Jaccard(b.Range) {
+		t.Fatalf("test setup: scores differ: %v vs %v", q.Jaccard(a.Range), q.Jaccard(b.Range))
+	}
+	want := a
+	if b.Key() < a.Key() {
+		want = b
+	}
+	// Replicated copies land in different append orders on different
+	// peers; both orders must return the same best match.
+	for _, order := range [][]Partition{{a, b}, {b, a}} {
+		s := New()
+		for _, p := range order {
+			s.Put(1, p)
+		}
+		m, ok := s.FindBest(1, "R", "a", q, MatchJaccard)
+		if !ok || m.Partition.Key() != want.Key() {
+			t.Errorf("order %v: best = %v, want %v", order, m.Partition.Key(), want.Key())
+		}
+		ma, ok := s.FindBestAnywhere("R", "a", q, MatchJaccard)
+		if !ok || ma.Partition.Key() != want.Key() {
+			t.Errorf("order %v: FindBestAnywhere best = %v, want %v", order, ma.Partition.Key(), want.Key())
+		}
+	}
+}
+
+func TestReplicaVersionUpgradeInPlace(t *testing.T) {
+	s := New()
+	p := part(0, 10)
+	s.Put(1, p)
+	stamped := p
+	stamped.Version, stamped.Origin = 7, "owner:1"
+	if s.Put(1, stamped) {
+		t.Error("version upgrade should not count as a new descriptor")
+	}
+	if got := s.Bucket(1); len(got) != 1 || got[0].Version != 7 || got[0].Origin != "owner:1" {
+		t.Errorf("bucket = %+v, want single copy at version 7", got)
+	}
+	// A stale (lower-version) duplicate must not downgrade the copy.
+	s.Put(1, p)
+	if got := s.Bucket(1); got[0].Version != 7 {
+		t.Errorf("stale duplicate downgraded version to %d", got[0].Version)
+	}
+	if s.Len() != 1 {
+		t.Errorf("Len = %d, want 1", s.Len())
+	}
+}
+
+func TestReplicaDigestAndMissingFrom(t *testing.T) {
+	owner := New()
+	a, b, c := part(0, 10), part(20, 30), part(40, 50)
+	a.Version, b.Version, c.Version = 1, 2, 3
+	owner.Put(1, a)
+	owner.Put(1, b)
+	owner.Put(2, c)
+
+	rep := New()
+	rep.Put(1, a) // up to date
+	stale := b
+	stale.Version = 1 // older copy
+	rep.Put(1, stale)
+	// bucket 2 entirely absent
+
+	d := owner.Digest(nil)
+	if len(d) != 2 || len(d[1]) != 2 || d[2][c.Key()] != 3 {
+		t.Fatalf("digest = %v", d)
+	}
+	missing := rep.MissingFrom(d)
+	if len(missing[1]) != 1 || missing[1][0] != b.Key() {
+		t.Errorf("missing[1] = %v, want [%s]", missing[1], b.Key())
+	}
+	if len(missing[2]) != 1 || missing[2][0] != c.Key() {
+		t.Errorf("missing[2] = %v, want [%s]", missing[2], c.Key())
+	}
+	// Repair and re-check: nothing missing afterwards.
+	for id, keys := range missing {
+		for _, k := range keys {
+			p, ok := owner.Get(id, k)
+			if !ok {
+				t.Fatalf("owner lost %s", k)
+			}
+			rep.Put(id, p)
+		}
+	}
+	if m := rep.MissingFrom(owner.Digest(nil)); m != nil {
+		t.Errorf("still missing after repair: %v", m)
+	}
+	// Filtered digest keeps only accepted buckets.
+	if d := owner.Digest(func(id ID) bool { return id == 2 }); len(d) != 1 || d[2] == nil {
+		t.Errorf("filtered digest = %v", d)
+	}
+}

@@ -195,3 +195,50 @@ func RepetitionRate(qs []rangeset.Range) float64 {
 	}
 	return float64(reps) / float64(len(qs))
 }
+
+// ZipfChoice draws each query from a fixed catalog of ranges with
+// Zipf-distributed popularity: a few catalog entries absorb most of the
+// traffic. The load experiment uses it over the set of already-published
+// partitions, so every query has an exact answer while the skew
+// concentrates probes on a handful of buckets.
+type ZipfChoice struct {
+	ranges []rangeset.Range
+	zipf   *rand.Zipf
+}
+
+// NewZipfChoice returns a Zipf-weighted choice over ranges; s > 1
+// controls the skew (rank-1 popularity ~ 1/rank^s).
+func NewZipfChoice(ranges []rangeset.Range, s float64, seed int64) *ZipfChoice {
+	if len(ranges) == 0 {
+		panic("workload: ZipfChoice needs at least one range")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	return &ZipfChoice{
+		ranges: ranges,
+		zipf:   rand.NewZipf(rng, s, 1, uint64(len(ranges)-1)),
+	}
+}
+
+// Next implements Generator.
+func (z *ZipfChoice) Next() rangeset.Range { return z.ranges[z.zipf.Uint64()] }
+
+// Name implements Generator.
+func (z *ZipfChoice) Name() string { return fmt.Sprintf("zipf-choice(%d)", len(z.ranges)) }
+
+// Preset returns a named workload over the default domain, for CLI
+// selection (rangebench -workload): "uniform" is the paper's workload,
+// "zipf" the skewed-centers extension (s=1.2, widths up to 300), and
+// "clustered" five hot topics with Gaussian jitter.
+func Preset(name string, seed int64) (Generator, error) {
+	lo, hi := int64(DefaultDomainLo), int64(DefaultDomainHi)
+	switch name {
+	case "", "uniform":
+		return NewUniform(lo, hi, seed), nil
+	case "zipf":
+		return NewZipf(lo, hi, 300, 1.2, seed), nil
+	case "clustered":
+		return NewClustered(lo, hi, 5, 30, 300, seed), nil
+	default:
+		return nil, fmt.Errorf("workload: unknown preset %q (want uniform, zipf, or clustered)", name)
+	}
+}

@@ -3,6 +3,8 @@ package workload
 import (
 	"math"
 	"testing"
+
+	"p2prange/internal/rangeset"
 )
 
 func TestUniformWithinDomain(t *testing.T) {
@@ -138,5 +140,56 @@ func TestNames(t *testing.T) {
 			t.Errorf("bad or duplicate name %q", name)
 		}
 		seen[name] = true
+	}
+}
+
+func TestPreset(t *testing.T) {
+	for _, name := range []string{"", "uniform", "zipf", "clustered"} {
+		g, err := Preset(name, 42)
+		if err != nil {
+			t.Fatalf("Preset(%q): %v", name, err)
+		}
+		for i := 0; i < 100; i++ {
+			if q := g.Next(); !q.Valid() || q.Lo < DefaultDomainLo || q.Hi > DefaultDomainHi {
+				t.Fatalf("Preset(%q) emitted out-of-domain range %s", name, q)
+			}
+		}
+	}
+	if _, err := Preset("nope", 42); err == nil {
+		t.Error("unknown preset should error")
+	}
+}
+
+func TestZipfChoiceSkewsTowardHead(t *testing.T) {
+	catalog := Take(NewUniform(0, 1000, 7), 100)
+	g := NewZipfChoice(catalog, 1.3, 42)
+	counts := make(map[rangeset.Range]int)
+	const n = 5000
+	for i := 0; i < n; i++ {
+		q := g.Next()
+		found := false
+		for _, c := range catalog {
+			if c == q {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("emitted range %s outside the catalog", q)
+		}
+		counts[q]++
+	}
+	// The head of the catalog must dominate: rank 1 alone should take a
+	// large share under s=1.3.
+	if head := counts[catalog[0]]; float64(head)/n < 0.25 {
+		t.Errorf("rank-1 range got %d/%d queries; workload not skewed", head, n)
+	}
+	// Determinism: same seed replays the same stream.
+	g2 := NewZipfChoice(catalog, 1.3, 42)
+	g3 := NewZipfChoice(catalog, 1.3, 42)
+	for i := 0; i < 50; i++ {
+		if g2.Next() != g3.Next() {
+			t.Fatal("same seed produced different streams")
+		}
 	}
 }

@@ -29,7 +29,19 @@ type LiveConfig struct {
 	// Schema enables partition data serving.
 	Schema *Schema
 	// Replicas pushes each stored descriptor to that many ring successors.
+	// Setting it enables the replica subsystem: versioned copies, periodic
+	// anti-entropy repair (cadence via Stabilize.RepairEvery), and
+	// hot-bucket promotion.
 	Replicas int
+	// LoadAware routes each bucket probe to the least-loaded live replica
+	// instead of always the owner. Effective only with Replicas > 0.
+	LoadAware bool
+	// HotReplicas is the replica-set size for popular buckets (owner
+	// included; default 2*(Replicas+1)).
+	HotReplicas int
+	// HotThreshold is the decayed probe count promoting a bucket to
+	// HotReplicas copies (default replica.DefaultHotThreshold).
+	HotThreshold uint64
 	// Stabilize controls the chord maintenance cadence; zero values use
 	// chord defaults.
 	Stabilize chord.MaintainerConfig
@@ -115,12 +127,15 @@ func StartPeer(listenAddr, bootstrap string, cfg LiveConfig) (*LivePeer, error) 
 		caller = transport.NewRetryCaller(caller, rc)
 	}
 	p, err := peer.New(addr, caller, peer.Config{
-		Scheme:      raw.Compiled(),
-		Measure:     cfg.Measure,
-		Schema:      cfg.Schema,
-		Replicas:    cfg.Replicas,
-		SigCache:    cfg.SigCache,
-		HashWorkers: cfg.HashWorkers,
+		Scheme:       raw.Compiled(),
+		Measure:      cfg.Measure,
+		Schema:       cfg.Schema,
+		Replicas:     cfg.Replicas,
+		LoadAware:    cfg.LoadAware,
+		HotReplicas:  cfg.HotReplicas,
+		HotThreshold: cfg.HotThreshold,
+		SigCache:     cfg.SigCache,
+		HashWorkers:  cfg.HashWorkers,
 		Chord: chord.Config{
 			DisableRerouting: cfg.DisableRerouting,
 			Stats:            stats,
@@ -143,7 +158,13 @@ func StartPeer(listenAddr, bootstrap string, cfg LiveConfig) (*LivePeer, error) 
 			return nil, err
 		}
 	}
-	lp.maintainer = chord.StartMaintainer(p.Node(), cfg.Stabilize)
+	mcfg := cfg.Stabilize
+	if cfg.Replicas > 0 && mcfg.Repair == nil {
+		// Anti-entropy rides the maintenance loop: each round re-creates
+		// replica copies lost to churn since the last one.
+		mcfg.Repair = func() { p.RepairReplicas() }
+	}
+	lp.maintainer = chord.StartMaintainer(p.Node(), mcfg)
 	return lp, nil
 }
 

@@ -118,8 +118,19 @@ type Config struct {
 	// base relations (the paper's third future-work item).
 	UseStats bool
 	// Replicas pushes each stored descriptor to that many ring successors
-	// so peer crashes do not lose cached descriptors.
+	// so peer crashes do not lose cached descriptors. Setting it enables
+	// the replica subsystem (versioned copies, anti-entropy repair,
+	// hot-bucket promotion; see internal/replica).
 	Replicas int
+	// LoadAware routes each bucket probe to the least-loaded live replica
+	// instead of always the owner. Effective only with Replicas > 0.
+	LoadAware bool
+	// HotReplicas is the replica-set size for popular buckets (owner
+	// included; default 2*(Replicas+1)).
+	HotReplicas int
+	// HotThreshold is the decayed probe count promoting a bucket to
+	// HotReplicas copies (default replica.DefaultHotThreshold).
+	HotThreshold uint64
 	// CacheCapacity bounds each peer's descriptor cache with LRU
 	// eviction; 0 means unbounded (the paper's model).
 	CacheCapacity int
@@ -176,6 +187,9 @@ func New(cfg Config) (*System, error) {
 			Schema:        cfg.Schema,
 			UsePeerIndex:  cfg.UsePeerIndex,
 			Replicas:      cfg.Replicas,
+			LoadAware:     cfg.LoadAware,
+			HotReplicas:   cfg.HotReplicas,
+			HotThreshold:  cfg.HotThreshold,
 			CacheCapacity: cfg.CacheCapacity,
 			SigCache:      cfg.SigCache,
 			HashWorkers:   cfg.HashWorkers,
