@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check linkcheck trace-demo bench bench-all
+.PHONY: build test check linkcheck flagcheck benchguard trace-demo rangetop-demo bench bench-all
 
 build:
 	$(GO) build ./...
@@ -9,8 +9,9 @@ test:
 	$(GO) test ./...
 
 # check is the pre-merge gate: formatting, static analysis, doc links,
-# a quick race pass over the replica subsystem (the most concurrent
-# code in the repo), then the full suite under the race detector.
+# doc flag tables, the nil-span allocation guard, a quick race pass over
+# the replica subsystem (the most concurrent code in the repo), then the
+# full suite under the race detector.
 check:
 	@unformatted=$$(gofmt -l .); \
 	if [ -n "$$unformatted" ]; then \
@@ -18,6 +19,8 @@ check:
 	fi
 	$(GO) vet ./...
 	$(MAKE) linkcheck
+	$(MAKE) flagcheck
+	$(MAKE) benchguard
 	$(GO) test -race -run 'TestReplica' ./internal/replica ./internal/sim ./internal/store
 	$(GO) test -race ./...
 
@@ -25,11 +28,31 @@ check:
 linkcheck:
 	$(GO) run ./tools/checklinks
 
+# flagcheck verifies the docs' command flag tables against the flags
+# cmd/* actually declare.
+flagcheck:
+	$(GO) run ./tools/checkflags
+
+# benchguard pins the disabled-tracer contract under -benchmem: a nil
+# span threaded through a hot path must stay at 0 allocs/op.
+benchguard:
+	@out=$$($(GO) test -run '^$$' -bench BenchmarkDisabledSpan -benchmem ./internal/trace); \
+	if ! echo "$$out" | grep -q '0 allocs/op'; then \
+		echo "nil-span fast path allocates:"; echo "$$out"; exit 1; \
+	fi; \
+	echo "benchguard: disabled span holds 0 allocs/op"
+
 # trace-demo prints a hop-by-hop span tree for one query on a simulated
 # 8-peer ring — the quickest way to see the observability layer.
 trace-demo:
 	$(GO) run ./cmd/rangeql -peers 8 -trace \
 		-e "SELECT name FROM Patient WHERE 30 <= age AND age <= 50"
+
+# rangetop-demo boots a real 3-peer TCP ring with debug endpoints, runs
+# one traced query through an ephemeral rangeql member (watch the serve
+# spans arrive from remote peers), and prints the rangetop cluster view.
+rangetop-demo:
+	@sh ./tools/rangetop-demo.sh
 
 # bench runs the signature-pipeline benchmarks (the performance contract:
 # BenchmarkMinWiseSign vs BenchmarkMinWiseNaive and friends) with

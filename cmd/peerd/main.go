@@ -11,9 +11,12 @@
 //
 // With -debug-addr the daemon also serves an HTTP debug endpoint:
 // /debug/vars (expvar JSON including the full p2prange metrics snapshot —
-// route.*, sig.*, chord.*, peer.*, transport.* families) and /debug/pprof
-// (the standard net/http/pprof profiles). See docs/OBSERVABILITY.md for
-// the metric catalogue and scraping examples.
+// route.*, sig.*, chord.*, peer.*, transport.* families), /debug/pprof
+// (the standard net/http/pprof profiles), /metrics (JSON snapshot),
+// /metrics/prom (Prometheus text format with p50/p95/p99 histogram
+// summaries), /status (the peer's NodeStatus for rangetop), and /healthz
+// (readiness, 200 once ring stabilization settles). See
+// docs/OBSERVABILITY.md for the metric catalogue and scraping examples.
 package main
 
 import (
@@ -173,8 +176,32 @@ func startDebugServer(addr string, lp *p2prange.LivePeer) {
 		enc.SetIndent("", "  ")
 		enc.Encode(metrics.Default.Snapshot())
 	})
+	// /metrics/prom serves the same registry in Prometheus text format,
+	// each histogram with p50/p95/p99 summary gauges.
+	http.HandleFunc("/metrics/prom", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		metrics.Default.Snapshot().WritePrometheus(w)
+	})
+	// /status serves the peer's self-description for rangetop.
+	http.HandleFunc("/status", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(lp.Status())
+	})
+	// /healthz is the readiness probe: 200 once ring stabilization has
+	// settled this peer's links, 503 before.
+	http.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		if lp.Stable() {
+			w.WriteHeader(http.StatusOK)
+			fmt.Fprintln(w, "ok")
+			return
+		}
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "stabilizing")
+	})
 	go func() {
-		log.Printf("peerd: debug endpoint on http://%s/debug/vars (pprof at /debug/pprof)", addr)
+		log.Printf("peerd: debug endpoint on http://%s/debug/vars (pprof at /debug/pprof; /metrics, /metrics/prom, /status, /healthz)", addr)
 		if err := http.ListenAndServe(addr, nil); err != nil {
 			log.Printf("peerd: debug server: %v", err)
 		}

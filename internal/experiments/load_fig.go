@@ -58,6 +58,12 @@ func LoadFig(p Params) (*Table, error) {
 			fmt.Sprintf("%.2f", res.SuccessRate()),
 			fmt.Sprintf("%d", res.Repaired),
 		)
+		// Surface the cluster rollup per ablation — the same aggregate
+		// `rangetop -once -json` reports against a live cluster.
+		t.Notes += fmt.Sprintf(
+			"\n%s rollup: served-imbalance=%.2f hop-p95=%.1f sig-hit=%.0f%% repairs=%d sync-rounds=%d",
+			row.label, res.Rollup.ServedImbalance, res.Rollup.HopP95,
+			100*res.Rollup.SigHitRate, res.Rollup.ReplicaRepaired, res.Rollup.ReplicaSyncRounds)
 	}
 	return t, nil
 }

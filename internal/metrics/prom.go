@@ -1,0 +1,85 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// This file renders a registry Snapshot in the Prometheus text exposition
+// format (version 0.0.4), served by peerd at /metrics/prom. Dotted metric
+// names become underscore-separated ("peer.lookup_us" →
+// "p2prange_peer_lookup_us"); each IntHistogram is emitted as a native
+// Prometheus histogram (cumulative le buckets, _sum, _count) plus p50/
+// p95/p99 summary gauges estimated from the power-of-two buckets, so
+// dashboards get percentiles without PromQL histogram_quantile over
+// unusual bucket bounds. The output is deterministic (sorted names) and
+// pinned by a golden test.
+
+// promNamespace prefixes every exposed metric name.
+const promNamespace = "p2prange"
+
+// promName converts a dotted registry name to a Prometheus metric name.
+func promName(name string) string {
+	return promNamespace + "_" + strings.NewReplacer(".", "_", "-", "_").Replace(name)
+}
+
+// WritePrometheus renders the snapshot to w in Prometheus text format.
+func (s Snapshot) WritePrometheus(w io.Writer) error {
+	var b strings.Builder
+
+	names := make([]string, 0, len(s.Counters))
+	for name := range s.Counters {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		pn := promName(name) + "_total"
+		fmt.Fprintf(&b, "# TYPE %s counter\n%s %d\n", pn, pn, s.Counters[name])
+	}
+
+	names = names[:0]
+	for name := range s.Gauges {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		pn := promName(name)
+		fmt.Fprintf(&b, "# TYPE %s gauge\n%s %d\n", pn, pn, s.Gauges[name])
+	}
+
+	names = names[:0]
+	for name := range s.Histograms {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		writePromHistogram(&b, promName(name), s.Histograms[name])
+	}
+
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// writePromHistogram emits one histogram: cumulative le buckets at the
+// power-of-two upper bounds, +Inf, _sum and _count, then the quantile
+// summary gauges.
+func writePromHistogram(b *strings.Builder, pn string, h HistSnapshot) {
+	fmt.Fprintf(b, "# TYPE %s histogram\n", pn)
+	cum := uint64(0)
+	for _, bk := range h.Buckets {
+		cum += bk.Count
+		fmt.Fprintf(b, "%s_bucket{le=\"%d\"} %d\n", pn, bk.Hi, cum)
+	}
+	fmt.Fprintf(b, "%s_bucket{le=\"+Inf\"} %d\n", pn, h.Count)
+	fmt.Fprintf(b, "%s_sum %d\n", pn, h.Sum)
+	fmt.Fprintf(b, "%s_count %d\n", pn, h.Count)
+	for _, q := range []struct {
+		suffix string
+		q      float64
+	}{{"p50", 0.5}, {"p95", 0.95}, {"p99", 0.99}} {
+		fmt.Fprintf(b, "# TYPE %s_%s gauge\n", pn, q.suffix)
+		fmt.Fprintf(b, "%s_%s %.6g\n", pn, q.suffix, h.Quantile(q.q))
+	}
+}

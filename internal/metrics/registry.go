@@ -131,6 +131,42 @@ func (h *IntHistogram) Snapshot() HistSnapshot {
 	return s
 }
 
+// Quantile estimates the q-quantile (q in [0,1]) of the observed values
+// by linear interpolation inside the power-of-two bucket where the
+// cumulative count crosses q. The coarse buckets bound the error to the
+// bucket width — adequate for the p50/p95/p99 summaries exposition and
+// rollups report, where order of magnitude and trend matter, not exact
+// microseconds. An empty snapshot returns 0.
+func (s HistSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(s.Count)
+	cum := 0.0
+	for _, b := range s.Buckets {
+		next := cum + float64(b.Count)
+		if next >= rank {
+			if b.Hi == b.Lo {
+				return float64(b.Lo)
+			}
+			frac := 0.0
+			if b.Count > 0 {
+				frac = (rank - cum) / float64(b.Count)
+			}
+			return float64(b.Lo) + frac*float64(b.Hi-b.Lo)
+		}
+		cum = next
+	}
+	last := s.Buckets[len(s.Buckets)-1]
+	return float64(last.Hi)
+}
+
 // Sub returns the observation deltas since prev (bucket-wise), for
 // per-operation accounting over a cumulative histogram.
 func (s HistSnapshot) Sub(prev HistSnapshot) HistSnapshot {

@@ -1,0 +1,83 @@
+package obs
+
+import (
+	"testing"
+
+	"p2prange/internal/metrics"
+)
+
+// snap builds a process snapshot with one counter and chord.hops
+// observations, the way a live peer's registry would look.
+func snap(calls uint64, hops ...uint64) metrics.Snapshot {
+	r := metrics.NewRegistry()
+	r.Counter("transport.calls").Add(calls)
+	h := r.IntHistogram("chord.hops")
+	for _, v := range hops {
+		h.Observe(v)
+	}
+	return r.Snapshot()
+}
+
+func TestMergeSnapshots(t *testing.T) {
+	m := MergeSnapshots(snap(10, 1, 2), snap(5, 2, 8))
+	if got := m.Counters["transport.calls"]; got != 15 {
+		t.Errorf("merged counter = %d, want 15", got)
+	}
+	h := m.Histograms["chord.hops"]
+	if h.Count != 4 || h.Sum != 13 {
+		t.Errorf("merged hist count=%d sum=%d, want 4/13", h.Count, h.Sum)
+	}
+	// Bucket [2,3] got one observation from each process.
+	for _, b := range h.Buckets {
+		if b.Lo == 2 && b.Count != 2 {
+			t.Errorf("bucket [2,3] count = %d, want 2", b.Count)
+		}
+	}
+	// Cluster-wide quantiles see both processes' tails.
+	if q := h.Quantile(0.99); q < 4 || q > 15 {
+		t.Errorf("merged q99 = %g, want within the [8,15] tail's bucket walk", q)
+	}
+}
+
+func TestComputeRollup(t *testing.T) {
+	nodes := []NodeStatus{
+		{Addr: "a:1", Stable: true, Stored: 6, Served: 30, Metrics: snap(100, 1, 1, 2)},
+		{Addr: "b:1", Stable: true, Stored: 2, Served: 10, Metrics: snap(50, 3)},
+		{Addr: "c:1", Stable: false, Stored: 1, Served: 5, Metrics: snap(10)},
+	}
+	v := Compute(nodes, nil)
+	r := v.Rollup
+	if r.Peers != 3 || r.StablePeers != 2 {
+		t.Errorf("peers = %d/%d stable, want 3/2", r.Peers, r.StablePeers)
+	}
+	if r.TotalStored != 9 || r.MaxStored != 6 {
+		t.Errorf("stored total/max = %d/%d, want 9/6", r.TotalStored, r.MaxStored)
+	}
+	if r.StoredImbalance != 2 { // 6 / (9/3)
+		t.Errorf("stored imbalance = %g, want 2", r.StoredImbalance)
+	}
+	if r.TotalServed != 45 || r.MaxServed != 30 || r.ServedImbalance != 2 {
+		t.Errorf("served total/max/imb = %d/%d/%g, want 45/30/2", r.TotalServed, r.MaxServed, r.ServedImbalance)
+	}
+	if r.TransportCalls != 160 {
+		t.Errorf("transport calls = %d, want 160", r.TransportCalls)
+	}
+	if r.HopP50 <= 0 {
+		t.Error("hop p50 not derived from the merged histogram")
+	}
+
+	// A pre-merged global snapshot takes precedence over node merging.
+	g := snap(7)
+	v2 := Compute(nodes, &g)
+	if v2.Rollup.TransportCalls != 7 {
+		t.Errorf("global override ignored: calls = %d, want 7", v2.Rollup.TransportCalls)
+	}
+}
+
+func TestComputeEmpty(t *testing.T) {
+	v := Compute(nil, nil)
+	r := v.Rollup
+	if r.Peers != 0 || r.StoredImbalance != 0 || r.ServedImbalance != 0 {
+		t.Errorf("empty rollup = %+v, want zeros", r)
+	}
+}

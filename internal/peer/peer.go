@@ -235,9 +235,57 @@ func (p *Peer) Ref() chord.Ref { return p.node.Ref() }
 
 // Handle dispatches an incoming request (chord or partition protocol).
 func (p *Peer) Handle(req any) (any, error) {
+	resp, _, err := p.HandleTraced(trace.Context{}, req)
+	return resp, err
+}
+
+// HandleTraced is the transport.TracedHandler face of the peer: when the
+// caller's context is sampled and the request is part of the traced
+// protocol, the work runs under a serving-side span named for this peer
+// ("serve FindBest @addr" with a "from" event naming the caller), and the
+// finished subtree is returned as a fragment for the transport to
+// piggyback home. Chord routing RPCs stay untraced — routing is
+// iterative, so every hop is already visible on the querying side.
+func (p *Peer) HandleTraced(tc trace.Context, req any) (any, []trace.Wire, error) {
 	if resp, handled, err := transport.DispatchChord(p.node, req); handled {
-		return resp, err
+		return resp, nil, err
 	}
+	var sp *trace.Span
+	if tc.Sampled {
+		if kind := serveKind(req); kind != "" {
+			sp = trace.Remote(tc, fmt.Sprintf("serve %s @%s", kind, p.Addr()))
+			sp.Event("from", tc.Caller)
+		}
+	}
+	resp, err := p.handle(req, sp)
+	if sp.On() {
+		sp.End()
+		return resp, []trace.Wire{sp.Export()}, err
+	}
+	return resp, nil, err
+}
+
+// serveKind names the traced protocol messages; other requests (handoff,
+// arc transfer, aux protocols) serve without a span.
+func serveKind(req any) string {
+	switch req.(type) {
+	case FindBestReq:
+		return "FindBest"
+	case StoreReq:
+		return "Store"
+	case replica.SyncReq:
+		return "Sync"
+	case replica.LoadReq:
+		return "Load"
+	case FetchDataReq:
+		return "FetchData"
+	}
+	return ""
+}
+
+// handle serves one non-chord request, annotating sp (which may be nil)
+// with the outcome.
+func (p *Peer) handle(req any, sp *trace.Span) (any, error) {
 	switch r := req.(type) {
 	case FindBestReq:
 		p.served.Add(1)
@@ -251,6 +299,13 @@ func (p *Peer) Handle(req any) (any, error) {
 		} else {
 			m, ok = p.store.FindBest(r.ID, r.Relation, r.Attribute, r.Range, r.Measure)
 		}
+		if sp.On() {
+			if ok {
+				sp.Eventf("best", "%s score=%.3f", m.Partition.Range, m.Score)
+			} else {
+				sp.Event("best", "none")
+			}
+		}
 		return FindBestResp{Match: m, Found: ok}, nil
 	case StoreReq:
 		if p.replica != nil && !r.Replica && !p.store.Has(r.ID, r.Partition) {
@@ -263,16 +318,27 @@ func (p *Peer) Handle(req any) (any, error) {
 		if stored && !r.Replica && p.replica != nil {
 			p.replica.Replicate(r.ID, r.Partition)
 		}
+		if sp.On() {
+			sp.Eventf("stored", "%v replica=%v", stored, r.Replica)
+		}
 		return StoreResp{Stored: stored}, nil
 	case replica.SyncReq:
 		// Answerable from the store alone, so a peer with replication
 		// disabled still reports honestly what it lacks.
-		return replica.SyncResp{Missing: p.store.MissingFrom(r.Digest)}, nil
-	case replica.LoadReq:
-		if p.replica != nil {
-			return p.replica.HandleLoad(r), nil
+		missing := p.store.MissingFrom(r.Digest)
+		if sp.On() {
+			sp.Eventf("missing", "%d descriptor(s)", len(missing))
 		}
-		return replica.LoadResp{Load: p.served.Load(), Fanout: 1}, nil
+		return replica.SyncResp{Missing: missing}, nil
+	case replica.LoadReq:
+		resp := replica.LoadResp{Load: p.served.Load(), Fanout: 1}
+		if p.replica != nil {
+			resp = p.replica.HandleLoad(r)
+		}
+		if sp.On() {
+			sp.Eventf("load", "%d", resp.Load)
+		}
+		return resp, nil
 	case HandoffReq:
 		return p.handleHandoff(r)
 	case TransferArcReq:
@@ -280,7 +346,11 @@ func (p *Peer) Handle(req any) (any, error) {
 	case FetchDataReq:
 		part, ok := p.localPartition(r.Relation, r.Attribute, r.Range)
 		if !ok {
+			sp.Event("data", "not held")
 			return FetchDataResp{Found: false}, nil
+		}
+		if sp.On() {
+			sp.Eventf("data", "%d tuple(s)", len(part.Data.Tuples))
 		}
 		return FetchDataResp{
 			Found: true,
@@ -441,7 +511,7 @@ func (p *Peer) LookupTraced(rel, attribute string, q rangeset.Range, cache bool,
 			// the bucket's replica set. owners[i] stays the resolved owner
 			// — a later StoreReq must land there, not at a replica.
 			_, resp, _ = p.replica.ProbeBest(id, owner, func(to chord.Ref) (any, error) {
-				return p.call(to, req)
+				return p.callCtx(to, req, ps)
 			}, ps)
 		}
 		if resp == nil {
@@ -480,7 +550,7 @@ func (p *Peer) LookupTraced(rel, attribute string, q rangeset.Range, cache bool,
 				Partition: store.Partition{
 					Relation: rel, Attribute: attribute, Range: q, Holder: p.Addr(),
 				},
-			}, nil)
+			}, sp)
 			if err != nil {
 				return res, err
 			}
@@ -542,6 +612,27 @@ func (p *Peer) call(to chord.Ref, req any) (any, error) {
 	return p.caller.Call(to.Addr, req)
 }
 
+// callCtx is call with trace propagation: the request carries sp's
+// context and any remote serve spans returned with the response are
+// grafted under sp. The local short-circuit runs HandleTraced directly,
+// so a peer probing itself produces the same serve span a remote peer
+// would — tree shapes match across transports. With tracing off it is
+// exactly call.
+func (p *Peer) callCtx(to chord.Ref, req any, sp *trace.Span) (any, error) {
+	if !sp.On() {
+		return p.call(to, req)
+	}
+	tc := sp.Context(p.Addr())
+	if to.ID == p.node.ID() {
+		resp, spans, err := p.HandleTraced(tc, req)
+		sp.GraftAll(spans)
+		return resp, err
+	}
+	resp, spans, err := transport.CallCtx(p.caller, to.Addr, tc, req)
+	sp.GraftAll(spans)
+	return resp, err
+}
+
 // callOwner sends req to the resolved owner of bucket id. When the owner
 // became unreachable between resolution and the call (it crashed, or the
 // lookup raced a churn event) and the node is fault tolerant, the owner
@@ -550,7 +641,7 @@ func (p *Peer) call(to chord.Ref, req any) (any, error) {
 // enabled — already holds a copy of its descriptors. Returns the ref that
 // actually answered; the re-resolution is recorded on sp.
 func (p *Peer) callOwner(id uint32, owner chord.Ref, req any, sp *trace.Span) (chord.Ref, any, error) {
-	resp, err := p.call(owner, req)
+	resp, err := p.callCtx(owner, req, sp)
 	if err == nil || !p.node.FaultTolerant() || !transport.Retryable(err) {
 		return owner, resp, err
 	}
@@ -562,7 +653,7 @@ func (p *Peer) callOwner(id uint32, owner chord.Ref, req any, sp *trace.Span) (c
 	if lerr != nil || next.ID == owner.ID {
 		return owner, nil, err
 	}
-	resp, err = p.call(next, req)
+	resp, err = p.callCtx(next, req, sp)
 	return next, resp, err
 }
 
@@ -600,6 +691,12 @@ func (p *Peer) PartitionCount() int {
 
 // FetchData retrieves the tuples of a matched partition from its holder.
 func (p *Peer) FetchData(m store.Match) (*relation.Relation, error) {
+	return p.FetchDataTraced(m, nil)
+}
+
+// FetchDataTraced is FetchData with the holder's serve span grafted
+// under sp, attributing the data transfer to the peer that performed it.
+func (p *Peer) FetchDataTraced(m store.Match, sp *trace.Span) (*relation.Relation, error) {
 	metFetches.Inc()
 	if p.cfg.Schema == nil {
 		return nil, errors.New("peer: no schema configured")
@@ -611,10 +708,20 @@ func (p *Peer) FetchData(m store.Match) (*relation.Relation, error) {
 	}
 	var resp any
 	var err error
-	if m.Partition.Holder == p.Addr() {
+	switch {
+	case !sp.On() && m.Partition.Holder == p.Addr():
 		resp, err = p.Handle(req)
-	} else {
+	case !sp.On():
 		resp, err = p.caller.Call(m.Partition.Holder, req)
+	default:
+		tc := sp.Context(p.Addr())
+		var spans []trace.Wire
+		if m.Partition.Holder == p.Addr() {
+			resp, spans, err = p.HandleTraced(tc, req)
+		} else {
+			resp, spans, err = transport.CallCtx(p.caller, m.Partition.Holder, tc, req)
+		}
+		sp.GraftAll(spans)
 	}
 	if err != nil {
 		return nil, err

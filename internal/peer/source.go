@@ -90,7 +90,7 @@ func (s *DataSource) FetchTraced(rel, attribute string, rg rangeset.Range, sp *t
 	covered := rangeset.Range{Lo: 0, Hi: -1} // empty
 	if lr.Found {
 		if inter, ok := rg.Intersect(lr.Match.Partition.Range); ok {
-			d, err := s.Peer.FetchData(lr.Match)
+			d, err := s.Peer.FetchDataTraced(lr.Match, sp)
 			if err == nil {
 				data, covered = d, inter
 				if sp.On() {

@@ -4,7 +4,9 @@ import (
 	"fmt"
 	"math/rand"
 
+	"p2prange/internal/metrics"
 	"p2prange/internal/minhash"
+	"p2prange/internal/obs"
 	"p2prange/internal/peer"
 	"p2prange/internal/rangeset"
 	"p2prange/internal/store"
@@ -93,6 +95,10 @@ type LoadResult struct {
 	Repaired int
 	// Survivors is the ring size at the end of the run.
 	Survivors int
+	// Rollup is the cluster-wide observability summary for this run —
+	// the same aggregate rangetop computes against a live cluster,
+	// derived here from the run's metrics delta and the surviving peers.
+	Rollup obs.Rollup
 }
 
 // SuccessRate returns the percentage of queries answered exactly.
@@ -135,6 +141,7 @@ func RunLoad(cfg LoadConfig) (*LoadResult, error) {
 		return nil, err
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
+	metBefore := metrics.Default.Snapshot()
 
 	// Publish a fixed catalog of distinct ranges; the query stream draws
 	// from it, so every query has an exact answer somewhere.
@@ -203,6 +210,7 @@ func RunLoad(cfg LoadConfig) (*LoadResult, error) {
 		res.Mean = float64(total) / float64(len(res.Loads))
 	}
 	res.Survivors = len(c.Peers)
+	res.Rollup = c.ViewSince(metBefore).Rollup
 	return res, nil
 }
 

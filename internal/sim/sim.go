@@ -5,7 +5,9 @@ import (
 	"math/rand"
 
 	"p2prange/internal/chord"
+	"p2prange/internal/metrics"
 	"p2prange/internal/minhash"
+	"p2prange/internal/obs"
 	"p2prange/internal/peer"
 	"p2prange/internal/store"
 	"p2prange/internal/transport"
@@ -22,6 +24,11 @@ type ClusterConfig struct {
 	// injection or transport.NewRetryCaller for resilience. Called once
 	// per peer with the shared in-memory network as the inner caller.
 	WrapCaller func(inner transport.Caller) transport.Caller
+	// Addrs, when non-empty, assigns exact peer addresses (len must be N)
+	// instead of the synthetic defaults. Equivalence tests use it to give
+	// an in-memory cluster the same addresses — and therefore the same
+	// chord IDs and ring geometry — as a live TCP cluster.
+	Addrs []string
 }
 
 // Cluster is an in-memory system of N peers on a converged chord ring.
@@ -41,6 +48,9 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 	if cfg.Peer.Scheme == nil {
 		return nil, fmt.Errorf("sim: ClusterConfig.Peer.Scheme is required")
 	}
+	if len(cfg.Addrs) > 0 && len(cfg.Addrs) != cfg.N {
+		return nil, fmt.Errorf("sim: ClusterConfig.Addrs has %d entries for %d peers", len(cfg.Addrs), cfg.N)
+	}
 	c := &Cluster{Net: transport.NewMemory(), cfg: cfg}
 	seen := make(map[chord.ID]bool, cfg.N)
 	for i := 0; i < cfg.N; i++ {
@@ -49,6 +59,9 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 		var err error
 		for attempt := 0; ; attempt++ {
 			addr := fmt.Sprintf("10.%d.%d.%d:%d", i>>16&0xff, i>>8&0xff, i&0xff, 4000+attempt)
+			if len(cfg.Addrs) > 0 {
+				addr = cfg.Addrs[i]
+			}
 			p, err = peer.New(addr, caller, cfg.Peer)
 			if err != nil {
 				return nil, err
@@ -56,9 +69,12 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 			if !seen[p.Node().ID()] {
 				break
 			}
+			if len(cfg.Addrs) > 0 {
+				return nil, fmt.Errorf("sim: chord ID collision on assigned address %s", addr)
+			}
 		}
 		seen[p.Node().ID()] = true
-		c.Net.Register(p.Addr(), p.Handle)
+		c.Net.RegisterTraced(p.Addr(), p.HandleTraced)
 		c.Peers = append(c.Peers, p)
 	}
 	nodes := make([]*chord.Node, len(c.Peers))
@@ -133,6 +149,37 @@ func (c *Cluster) call(origin *peer.Peer, to chord.Ref, req any) (any, error) {
 		return origin.Handle(req)
 	}
 	return c.Net.Call(to.Addr, req)
+}
+
+// View assembles the cluster observability view: per-peer status (ring
+// position, stored descriptors, probes served) plus the process-wide
+// metrics snapshot as the global state — simulated peers share one
+// registry, so the snapshot is already cluster-wide. The same rollup
+// rangetop computes against a live cluster comes from here for free.
+func (c *Cluster) View() obs.ClusterView {
+	return c.viewWith(metrics.Default.Snapshot())
+}
+
+// ViewSince is View with the global metrics restricted to the delta
+// since prev, so a single experiment's rollup is not polluted by earlier
+// runs in the same process.
+func (c *Cluster) ViewSince(prev metrics.Snapshot) obs.ClusterView {
+	return c.viewWith(metrics.Default.Snapshot().Sub(prev))
+}
+
+func (c *Cluster) viewWith(g metrics.Snapshot) obs.ClusterView {
+	nodes := make([]obs.NodeStatus, len(c.Peers))
+	for i, p := range c.Peers {
+		nodes[i] = obs.NodeStatus{
+			Addr:      p.Addr(),
+			Ref:       p.Ref().String(),
+			Successor: p.Node().Successor().String(),
+			Stable:    true, // simulated rings are built converged
+			Stored:    p.Store().Len(),
+			Served:    p.ServedProbes(),
+		}
+	}
+	return obs.Compute(nodes, &g)
 }
 
 // Scheme is a convenience for building the paper's default scheme with a

@@ -26,8 +26,25 @@ import (
 	"io"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 )
+
+// Bounds on a single trace's memory. A span stops accepting entries after
+// MaxSpanItems (one "truncated" marker is recorded), and a whole trace —
+// the root plus every descendant, local or grafted from a remote peer —
+// holds at most MaxTraceSpans spans. Pathological fan-out (a routing loop
+// probing thousands of owners, a storm of remote fragments) therefore
+// degrades to a truncated tree instead of unbounded growth.
+const (
+	MaxSpanItems  = 4096
+	MaxTraceSpans = 65536
+)
+
+// ids issues process-unique span and trace identifiers. They exist for
+// cross-peer correlation (Context, Wire) and never appear in rendering,
+// so a simple counter keeps traces deterministic enough for golden tests.
+var ids atomic.Uint64
 
 // Span is one timed node of a trace tree. Create a root with New, extend
 // it with Child and Event, and close it with End. All methods are safe
@@ -38,8 +55,14 @@ type Span struct {
 	start time.Time
 	dur   time.Duration
 
-	mu    sync.Mutex
-	items []item
+	traceID uint64
+	spanID  uint64
+	parent  uint64        // remote roots: the calling side's span id
+	budget  *atomic.Int64 // shared per-trace span allowance
+
+	mu        sync.Mutex
+	items     []item
+	truncated bool
 }
 
 // item is one ordered entry of a span: an event (child == nil) or a
@@ -49,9 +72,17 @@ type item struct {
 	child        *Span
 }
 
-// New starts a root span.
+// New starts a root span with a fresh trace identity and span budget.
 func New(name string) *Span {
-	return &Span{name: name, start: time.Now()}
+	b := new(atomic.Int64)
+	b.Store(MaxTraceSpans - 1) // the root itself spends one
+	return &Span{
+		name:    name,
+		start:   time.Now(),
+		traceID: ids.Add(1),
+		spanID:  ids.Add(1),
+		budget:  b,
+	}
 }
 
 // On reports whether tracing is enabled. Guard any work that only feeds
@@ -59,15 +90,28 @@ func New(name string) *Span {
 func (s *Span) On() bool { return s != nil }
 
 // Child starts a sub-span and attaches it in order. A nil receiver
-// returns a nil child, so chains stay nil-safe.
+// returns a nil child, so chains stay nil-safe. Once the trace's span
+// budget is exhausted Child records a single "truncated" event on the
+// parent and returns nil, so runaway fan-out disables itself.
 func (s *Span) Child(name string) *Span {
 	if s == nil {
 		return nil
 	}
-	c := &Span{name: name, start: time.Now()}
-	s.mu.Lock()
-	s.items = append(s.items, item{child: c})
-	s.mu.Unlock()
+	if s.budget != nil && s.budget.Add(-1) < 0 {
+		s.markTruncated()
+		return nil
+	}
+	c := &Span{
+		name:    name,
+		start:   time.Now(),
+		traceID: s.traceID,
+		spanID:  ids.Add(1),
+		parent:  s.spanID,
+		budget:  s.budget,
+	}
+	if !s.attach(item{child: c}) {
+		return nil
+	}
 	return c
 }
 
@@ -77,9 +121,36 @@ func (s *Span) Event(kind, detail string) {
 	if s == nil {
 		return
 	}
+	s.attach(item{kind: kind, detail: detail})
+}
+
+// attach appends an item, enforcing the per-span cap. The first entry
+// past the cap is replaced by a "truncated" marker; later ones drop.
+func (s *Span) attach(it item) bool {
 	s.mu.Lock()
-	s.items = append(s.items, item{kind: kind, detail: detail})
-	s.mu.Unlock()
+	defer s.mu.Unlock()
+	if len(s.items) >= MaxSpanItems {
+		if !s.truncated {
+			s.truncated = true
+			s.items = append(s.items, item{kind: "truncated", detail: "span item cap reached"})
+		}
+		return false
+	}
+	s.items = append(s.items, it)
+	return true
+}
+
+// markTruncated records (once) that the trace's span budget ran out.
+func (s *Span) markTruncated() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.truncated {
+		return
+	}
+	s.truncated = true
+	if len(s.items) < MaxSpanItems+1 {
+		s.items = append(s.items, item{kind: "truncated", detail: "trace span budget reached"})
+	}
 }
 
 // Eventf is Event with formatting. The variadic arguments box even when

@@ -1,0 +1,184 @@
+package trace
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestContextNilAndSampled(t *testing.T) {
+	var nilSpan *Span
+	if tc := nilSpan.Context("a:1"); tc.Sampled || tc.TraceID != 0 || tc.SpanID != 0 {
+		t.Errorf("nil span context = %+v, want zero", tc)
+	}
+	s := New("op")
+	tc := s.Context("a:1")
+	if !tc.Sampled {
+		t.Error("live span context not sampled")
+	}
+	if tc.TraceID != s.traceID || tc.SpanID != s.spanID {
+		t.Errorf("context ids = %d/%d, want %d/%d", tc.TraceID, tc.SpanID, s.traceID, s.spanID)
+	}
+	if tc.Caller != "a:1" {
+		t.Errorf("caller = %q", tc.Caller)
+	}
+}
+
+func TestRemote(t *testing.T) {
+	if r := Remote(Context{}, "serve"); r != nil {
+		t.Error("unsampled context produced a span")
+	}
+	s := New("op")
+	tc := s.Context("a:1")
+	r := Remote(tc, "serve")
+	if r == nil {
+		t.Fatal("sampled context produced nil span")
+	}
+	if r.traceID != s.traceID {
+		t.Errorf("remote traceID = %d, want %d", r.traceID, s.traceID)
+	}
+	if r.parent != s.spanID {
+		t.Errorf("remote parent = %d, want caller span %d", r.parent, s.spanID)
+	}
+	if r.budget == nil || r.budget == s.budget {
+		t.Error("remote span must carry its own fresh budget")
+	}
+}
+
+func TestExportGraftRoundTrip(t *testing.T) {
+	r := Remote(New("root").Context("caller"), "serve FindBest @b:2")
+	r.Event("from", "caller")
+	c := r.Child("scan")
+	c.Event("hop", "n3")
+	c.End()
+	r.End()
+	r.dur = 5 * time.Millisecond // sub-microsecond real timings export as 0
+
+	w := r.Export()
+	if w.Name != "serve FindBest @b:2" || len(w.Items) != 2 {
+		t.Fatalf("export = %+v", w)
+	}
+	if w.DurUS <= 0 {
+		t.Error("export lost the duration")
+	}
+
+	local := New("query")
+	local.Graft(w)
+	local.End()
+	want := strings.Join([]string{
+		"query",
+		"└─ serve FindBest @b:2",
+		"   ├─ from: caller",
+		"   └─ scan",
+		"      └─ hop: n3",
+		"",
+	}, "\n")
+	if got := local.Tree(false); got != want {
+		t.Errorf("grafted tree:\n%s\nwant:\n%s", got, want)
+	}
+
+	// The grafted copy keeps the remote duration.
+	local.mu.Lock()
+	grafted := local.items[0].child
+	local.mu.Unlock()
+	if grafted.Duration() <= 0 {
+		t.Error("graft dropped the remote duration")
+	}
+}
+
+func TestGraftIgnoresEmptyAndNil(t *testing.T) {
+	var nilSpan *Span
+	nilSpan.Graft(Wire{Name: "x"}) // must not panic
+	nilSpan.GraftAll([]Wire{{Name: "x"}})
+
+	s := New("root")
+	s.Graft(Wire{}) // zero fragment: the nil-span export
+	if got := s.Tree(false); got != "root\n" {
+		t.Errorf("zero fragment grafted something: %q", got)
+	}
+}
+
+func TestSpanItemCap(t *testing.T) {
+	s := New("root")
+	for i := 0; i < MaxSpanItems+10; i++ {
+		s.Event("e", "d")
+	}
+	s.mu.Lock()
+	n := len(s.items)
+	last := s.items[n-1]
+	s.mu.Unlock()
+	if n != MaxSpanItems+1 {
+		t.Errorf("items = %d, want cap %d plus one marker", n, MaxSpanItems+1)
+	}
+	if last.kind != "truncated" {
+		t.Errorf("last item = %q, want truncated marker", last.kind)
+	}
+}
+
+func TestTraceSpanBudget(t *testing.T) {
+	root := New("root")
+	s, n := root, 0
+	for {
+		c := s.Child("c")
+		if c == nil {
+			break
+		}
+		s = c
+		n++
+	}
+	// The root spends one span; descendants get the rest.
+	if n != MaxTraceSpans-1 {
+		t.Errorf("budget allowed %d descendants, want %d", n, MaxTraceSpans-1)
+	}
+	s.mu.Lock()
+	last := s.items[len(s.items)-1]
+	s.mu.Unlock()
+	if last.kind != "truncated" || !strings.Contains(last.detail, "budget") {
+		t.Errorf("deepest span marker = %q/%q, want budget truncation", last.kind, last.detail)
+	}
+
+	// Grafting onto an exhausted trace degrades to a no-op, not growth.
+	s.Graft(Wire{Name: "late fragment", Items: []WireItem{{Kind: "hop", Detail: "n1"}}})
+	if strings.Contains(s.Tree(false), "late fragment") {
+		t.Error("graft ignored the exhausted span budget")
+	}
+}
+
+// TestConcurrentGraft exercises fragment merging under -race: parallel
+// probes graft their remote fragments into one parent while local events
+// append alongside.
+func TestConcurrentGraft(t *testing.T) {
+	root := New("lookup")
+	const workers, perWorker = 8, 50
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				frag := Wire{
+					Name: fmt.Sprintf("serve @peer%d", w),
+					Items: []WireItem{
+						{Kind: "from", Detail: "origin"},
+						{Child: &Wire{Name: "scan", Items: []WireItem{{Kind: "hop", Detail: "n"}}}},
+					},
+				}
+				root.Graft(frag)
+				root.Event("hop", "local")
+			}
+		}(w)
+	}
+	wg.Wait()
+	root.End()
+	tree := root.Tree(false)
+	for w := 0; w < workers; w++ {
+		if got := strings.Count(tree, fmt.Sprintf("serve @peer%d", w)); got != perWorker {
+			t.Errorf("worker %d: %d fragments in tree, want %d", w, got, perWorker)
+		}
+	}
+	if got := strings.Count(tree, "hop: local"); got != workers*perWorker {
+		t.Errorf("%d local events, want %d", got, workers*perWorker)
+	}
+}

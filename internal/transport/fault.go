@@ -4,6 +4,8 @@ import (
 	"math/rand"
 	"sync"
 	"time"
+
+	"p2prange/internal/trace"
 )
 
 // FaultConfig parameterizes deterministic fault injection. All
@@ -73,16 +75,19 @@ func (f *FaultCaller) Injected() uint64 {
 	return f.injected
 }
 
-// Call implements Caller with fault injection around the wrapped caller.
-func (f *FaultCaller) Call(addr string, req any) (any, error) {
+// decide draws this call's injected faults from the seeded generator and
+// applies any injected delay. A non-nil error means the request is lost
+// before the inner caller runs; fail means the response must be lost
+// after it.
+func (f *FaultCaller) decide(addr string) (fail bool, err error) {
 	f.mu.Lock()
 	if f.down[addr] {
 		f.injected++
 		f.mu.Unlock()
-		return nil, netErrf("transport: injected outage at %s", addr)
+		return false, netErrf("transport: injected outage at %s", addr)
 	}
 	drop := f.cfg.Drop > 0 && f.rng.Float64() < f.cfg.Drop
-	fail := f.cfg.Fail > 0 && f.rng.Float64() < f.cfg.Fail
+	fail = f.cfg.Fail > 0 && f.rng.Float64() < f.cfg.Fail
 	delay := f.cfg.DelayProb > 0 && f.rng.Float64() < f.cfg.DelayProb
 	if drop || fail {
 		f.injected++
@@ -93,7 +98,16 @@ func (f *FaultCaller) Call(addr string, req any) (any, error) {
 		time.Sleep(f.cfg.Delay)
 	}
 	if drop {
-		return nil, netErrf("transport: injected request drop to %s", addr)
+		return false, netErrf("transport: injected request drop to %s", addr)
+	}
+	return fail, nil
+}
+
+// Call implements Caller with fault injection around the wrapped caller.
+func (f *FaultCaller) Call(addr string, req any) (any, error) {
+	fail, err := f.decide(addr)
+	if err != nil {
+		return nil, err
 	}
 	resp, err := f.inner.Call(addr, req)
 	if fail && err == nil {
@@ -102,4 +116,19 @@ func (f *FaultCaller) Call(addr string, req any) (any, error) {
 	return resp, err
 }
 
-var _ Caller = (*FaultCaller)(nil)
+// CallCtx implements ContextCaller with the same fault model. An
+// injected response loss also discards the remote span fragments — just
+// as a real lost response would.
+func (f *FaultCaller) CallCtx(addr string, tc trace.Context, req any) (any, []trace.Wire, error) {
+	fail, err := f.decide(addr)
+	if err != nil {
+		return nil, nil, err
+	}
+	resp, spans, err := CallCtx(f.inner, addr, tc, req)
+	if fail && err == nil {
+		return nil, nil, netErrf("transport: injected response loss from %s", addr)
+	}
+	return resp, spans, err
+}
+
+var _ ContextCaller = (*FaultCaller)(nil)

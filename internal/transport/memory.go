@@ -3,6 +3,8 @@ package transport
 import (
 	"fmt"
 	"sync"
+
+	"p2prange/internal/trace"
 )
 
 // Memory is an in-process network: a registry of handlers keyed by
@@ -12,7 +14,7 @@ import (
 // an address off) for failure tests.
 type Memory struct {
 	mu       sync.RWMutex
-	handlers map[string]Handler
+	handlers map[string]TracedHandler
 	down     map[string]bool
 	calls    uint64 // total successful dispatches, for tests/metrics
 }
@@ -20,13 +22,20 @@ type Memory struct {
 // NewMemory returns an empty in-memory network.
 func NewMemory() *Memory {
 	return &Memory{
-		handlers: make(map[string]Handler),
+		handlers: make(map[string]TracedHandler),
 		down:     make(map[string]bool),
 	}
 }
 
 // Register attaches a handler at addr, replacing any previous one.
+// Handlers registered this way serve untraced (no remote spans); use
+// RegisterTraced for handlers that participate in trace propagation.
 func (m *Memory) Register(addr string, h Handler) {
+	m.RegisterTraced(addr, Traced(h))
+}
+
+// RegisterTraced attaches a trace-propagating handler at addr.
+func (m *Memory) RegisterTraced(addr string, h TracedHandler) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.handlers[addr] = h
@@ -57,6 +66,14 @@ func (m *Memory) Calls() uint64 {
 
 // Call implements Caller.
 func (m *Memory) Call(addr string, req any) (any, error) {
+	resp, _, err := m.CallCtx(addr, trace.Context{}, req)
+	return resp, err
+}
+
+// CallCtx implements ContextCaller: the handler runs in the caller's
+// goroutine, with the context passed straight through and fragments
+// returned directly — the in-memory analogue of envelope piggybacking.
+func (m *Memory) CallCtx(addr string, tc trace.Context, req any) (any, []trace.Wire, error) {
 	metCalls.Inc()
 	m.mu.RLock()
 	h, ok := m.handlers[addr]
@@ -64,12 +81,12 @@ func (m *Memory) Call(addr string, req any) (any, error) {
 	m.mu.RUnlock()
 	if !ok || down {
 		metErrors.Inc()
-		return nil, fmt.Errorf("%w: %s", ErrUnknownAddr, addr)
+		return nil, nil, fmt.Errorf("%w: %s", ErrUnknownAddr, addr)
 	}
 	m.mu.Lock()
 	m.calls++
 	m.mu.Unlock()
-	return h(req)
+	return h(tc, req)
 }
 
-var _ Caller = (*Memory)(nil)
+var _ ContextCaller = (*Memory)(nil)

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"p2prange/internal/metrics"
+	"p2prange/internal/trace"
 )
 
 // RetryConfig parameterizes a RetryCaller.
@@ -57,6 +58,43 @@ func NewRetryCaller(inner Caller, cfg RetryConfig) *RetryCaller {
 // Call implements Caller: forward to the wrapped caller, retrying
 // transport-level failures up to Attempts times.
 func (r *RetryCaller) Call(addr string, req any) (any, error) {
+	var resp any
+	err := r.retry(func() error {
+		var e error
+		resp, e = r.inner.Call(addr, req)
+		return e
+	})
+	if err != nil && Retryable(err) {
+		return nil, err // all attempts failed in transit
+	}
+	return resp, err
+}
+
+// CallCtx implements ContextCaller with the same retry policy. Each
+// attempt re-sends the same context; the fragments of the attempt that
+// succeeds are the ones returned, so a retried call never grafts a
+// failed attempt's partial subtree twice.
+func (r *RetryCaller) CallCtx(addr string, tc trace.Context, req any) (any, []trace.Wire, error) {
+	var (
+		resp  any
+		spans []trace.Wire
+	)
+	err := r.retry(func() error {
+		var e error
+		resp, spans, e = CallCtx(r.inner, addr, tc, req)
+		return e
+	})
+	if err != nil && Retryable(err) {
+		return nil, nil, err // all attempts failed in transit
+	}
+	return resp, spans, err
+}
+
+// retry runs do with the configured attempt and backoff policy. It
+// returns nil when an attempt succeeds or the first non-retryable error;
+// the attempt's own results are captured by the closure. A failed run
+// returns the last retryable error.
+func (r *RetryCaller) retry(do func() error) error {
 	delay := r.cfg.BaseDelay
 	var lastErr error
 	for attempt := 0; attempt < r.cfg.Attempts; attempt++ {
@@ -70,13 +108,13 @@ func (r *RetryCaller) Call(addr string, req any) (any, error) {
 				}
 			}
 		}
-		resp, err := r.inner.Call(addr, req)
+		err := do()
 		if err == nil || !Retryable(err) {
-			return resp, err
+			return err
 		}
 		lastErr = err
 	}
-	return nil, lastErr
+	return lastErr
 }
 
 // jitter spreads d over [d/2, 3d/2) so synchronized failures do not
@@ -88,4 +126,4 @@ func (r *RetryCaller) jitter(d time.Duration) time.Duration {
 	return time.Duration(float64(d) * f)
 }
 
-var _ Caller = (*RetryCaller)(nil)
+var _ ContextCaller = (*RetryCaller)(nil)

@@ -7,6 +7,8 @@ import (
 	"net"
 	"sync"
 	"time"
+
+	"p2prange/internal/trace"
 )
 
 // RegisterType registers a request or response type for gob transfer.
@@ -14,10 +16,16 @@ import (
 // both ends (the peer and chord packages register theirs in init).
 func RegisterType(v any) { gob.Register(v) }
 
-// envelope frames one request or response on the wire.
+// envelope frames one request or response on the wire. TC carries the
+// caller's trace context on requests (nil when unsampled, so untraced
+// traffic pays no encoding cost); Spans carries completed remote span
+// fragments back on responses. Both fields are concrete types, so no
+// gob registration beyond the envelope itself is needed.
 type envelope struct {
-	Body any
-	Err  string
+	Body  any
+	Err   string
+	TC    *trace.Context
+	Spans []trace.Wire
 }
 
 func init() {
@@ -28,7 +36,7 @@ func init() {
 // connection, multiple sequential requests per connection.
 type TCPServer struct {
 	ln      net.Listener
-	handler Handler
+	handler TracedHandler
 
 	mu     sync.Mutex
 	conns  map[net.Conn]struct{}
@@ -36,8 +44,16 @@ type TCPServer struct {
 	wg     sync.WaitGroup
 }
 
-// ServeTCP starts serving h on ln until Close.
+// ServeTCP starts serving h on ln until Close. Requests arriving with a
+// trace context serve untraced; use ServeTCPTraced to propagate.
 func ServeTCP(ln net.Listener, h Handler) *TCPServer {
+	return ServeTCPTraced(ln, Traced(h))
+}
+
+// ServeTCPTraced starts serving a trace-propagating handler on ln until
+// Close. Span fragments the handler returns ride back on the response
+// envelope.
+func ServeTCPTraced(ln net.Listener, h TracedHandler) *TCPServer {
 	s := &TCPServer{ln: ln, handler: h, conns: make(map[net.Conn]struct{})}
 	s.wg.Add(1)
 	go s.acceptLoop()
@@ -82,8 +98,12 @@ func (s *TCPServer) serveConn(conn net.Conn) {
 		if err := dec.Decode(&req); err != nil {
 			return // io.EOF on clean close; anything else drops the conn
 		}
-		resp, err := s.handler(req.Body)
-		out := envelope{Body: resp}
+		var tc trace.Context
+		if req.TC != nil {
+			tc = *req.TC
+		}
+		resp, spans, err := s.handler(tc, req.Body)
+		out := envelope{Body: resp, Spans: spans}
 		if err != nil {
 			out.Err = err.Error()
 		}
@@ -180,10 +200,40 @@ func (c *TCPCaller) pool(addr string) (chan *tcpConn, error) {
 // Call implements Caller over TCP. A transport-level failure invalidates
 // the pooled connection so the next call on that slot re-dials.
 func (c *TCPCaller) Call(addr string, req any) (any, error) {
+	resp, err := c.roundTrip(addr, envelope{Body: req})
+	if err != nil {
+		return nil, err
+	}
+	if resp.Err != "" {
+		return resp.Body, &RemoteError{Msg: resp.Err}
+	}
+	return resp.Body, nil
+}
+
+// CallCtx implements ContextCaller over TCP: the trace context rides the
+// request envelope and remote span fragments come back on the response.
+func (c *TCPCaller) CallCtx(addr string, tc trace.Context, req any) (any, []trace.Wire, error) {
+	env := envelope{Body: req}
+	if tc.Sampled {
+		env.TC = &tc
+	}
+	resp, err := c.roundTrip(addr, env)
+	if err != nil {
+		return nil, nil, err
+	}
+	if resp.Err != "" {
+		return resp.Body, resp.Spans, &RemoteError{Msg: resp.Err}
+	}
+	return resp.Body, resp.Spans, nil
+}
+
+// roundTrip sends one envelope and decodes the reply, managing the
+// per-address connection pool.
+func (c *TCPCaller) roundTrip(addr string, env envelope) (envelope, error) {
 	metCalls.Inc()
 	pool, err := c.pool(addr)
 	if err != nil {
-		return nil, err
+		return envelope{}, err
 	}
 	tc := <-pool
 	defer func() {
@@ -199,7 +249,7 @@ func (c *TCPCaller) Call(addr string, req any) (any, error) {
 	if tc.conn == nil {
 		conn, err := net.DialTimeout("tcp", addr, c.DialTimeout)
 		if err != nil {
-			return nil, netErrf("transport: dial %s: %w", addr, err)
+			return envelope{}, netErrf("transport: dial %s: %w", addr, err)
 		}
 		// Re-check closed under the lock before keeping the fresh
 		// connection: a Close that raced the dial must not leak it.
@@ -207,7 +257,7 @@ func (c *TCPCaller) Call(addr string, req any) (any, error) {
 		if c.closed {
 			c.mu.Unlock()
 			conn.Close()
-			return nil, ErrCallerClosed
+			return envelope{}, ErrCallerClosed
 		}
 		c.mu.Unlock()
 		tc.conn = conn
@@ -217,25 +267,22 @@ func (c *TCPCaller) Call(addr string, req any) (any, error) {
 	if c.CallTimeout > 0 {
 		if err := tc.conn.SetDeadline(time.Now().Add(c.CallTimeout)); err != nil {
 			tc.reset()
-			return nil, netErrf("transport: deadline for %s: %w", addr, err)
+			return envelope{}, netErrf("transport: deadline for %s: %w", addr, err)
 		}
 	}
-	if err := tc.enc.Encode(envelope{Body: req}); err != nil {
+	if err := tc.enc.Encode(env); err != nil {
 		tc.reset()
-		return nil, netErrf("transport: send to %s: %w", addr, err)
+		return envelope{}, netErrf("transport: send to %s: %w", addr, err)
 	}
 	var resp envelope
 	if err := tc.dec.Decode(&resp); err != nil {
 		tc.reset()
 		if errors.Is(err, io.EOF) {
-			return nil, netErrf("transport: %s closed connection", addr)
+			return envelope{}, netErrf("transport: %s closed connection", addr)
 		}
-		return nil, netErrf("transport: receive from %s: %w", addr, err)
+		return envelope{}, netErrf("transport: receive from %s: %w", addr, err)
 	}
-	if resp.Err != "" {
-		return resp.Body, &RemoteError{Msg: resp.Err}
-	}
-	return resp.Body, nil
+	return resp, nil
 }
 
 // reset drops the broken connection; the caller must own the slot.
@@ -278,4 +325,4 @@ func (c *TCPCaller) Close() {
 	}
 }
 
-var _ Caller = (*TCPCaller)(nil)
+var _ ContextCaller = (*TCPCaller)(nil)

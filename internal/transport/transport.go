@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"p2prange/internal/metrics"
+	"p2prange/internal/trace"
 )
 
 // The Default-registry transport.* family: calls counts every request a
@@ -26,6 +27,40 @@ type Caller interface {
 // Handler serves requests arriving at one node. It returns the response
 // value or an error; transports carry the error back to the caller.
 type Handler func(req any) (any, error)
+
+// TracedHandler is a Handler that additionally receives the caller's
+// trace context and returns any span fragments recorded while serving,
+// for the transport to piggyback on the response. An unsampled (zero)
+// context must behave exactly like a plain Handler call.
+type TracedHandler func(tc trace.Context, req any) (any, []trace.Wire, error)
+
+// Traced adapts a plain Handler to the traced interface: the context is
+// ignored and no fragments are produced.
+func Traced(h Handler) TracedHandler {
+	return func(_ trace.Context, req any) (any, []trace.Wire, error) {
+		resp, err := h(req)
+		return resp, nil, err
+	}
+}
+
+// ContextCaller is a Caller that can propagate trace context and carry
+// remote span fragments back. Both transports implement it; wrapper
+// callers (retry, fault) forward it when their inner caller does.
+type ContextCaller interface {
+	Caller
+	CallCtx(addr string, tc trace.Context, req any) (any, []trace.Wire, error)
+}
+
+// CallCtx issues a traced call through c when it supports propagation,
+// degrading to an untraced Call (no fragments) otherwise. Instrumented
+// code calls this instead of type-asserting at every site.
+func CallCtx(c Caller, addr string, tc trace.Context, req any) (any, []trace.Wire, error) {
+	if cc, ok := c.(ContextCaller); ok && tc.Sampled {
+		return cc.CallCtx(addr, tc, req)
+	}
+	resp, err := c.Call(addr, req)
+	return resp, nil, err
+}
 
 // ErrUnknownAddr is returned by the in-memory network for addresses with
 // no registered handler, modeling an unreachable peer.

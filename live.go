@@ -1,16 +1,22 @@
 package p2prange
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"net"
+	"sync"
 	"time"
 
 	"p2prange/internal/chord"
 	"p2prange/internal/metrics"
 	"p2prange/internal/minhash"
+	"p2prange/internal/obs"
 	"p2prange/internal/peer"
+	"p2prange/internal/query"
+	"p2prange/internal/relation"
 	"p2prange/internal/store"
+	"p2prange/internal/trace"
 	"p2prange/internal/transport"
 )
 
@@ -89,6 +95,10 @@ type LivePeer struct {
 	maintainer *chord.Maintainer
 	stats      *metrics.RouteStats
 	fault      *transport.FaultCaller
+	schema     *relation.Schema
+
+	mu   sync.RWMutex
+	base map[string]*relation.Relation // local base relations for SQL fallback
 }
 
 // StartPeer launches a live peer listening on listenAddr (host:port; the
@@ -148,9 +158,11 @@ func StartPeer(listenAddr, bootstrap string, cfg LiveConfig) (*LivePeer, error) 
 	lp := &LivePeer{
 		peer:   p,
 		caller: tcp,
-		server: transport.ServeTCP(ln, p.Handle),
+		server: transport.ServeTCPTraced(ln, p.HandleTraced),
 		stats:  stats,
 		fault:  fault,
+		schema: cfg.Schema,
+		base:   make(map[string]*relation.Relation),
 	}
 	if bootstrap != "" {
 		if err := p.Node().Join(bootstrap); err != nil {
@@ -233,20 +245,154 @@ func (lp *LivePeer) SigStats() metrics.SigSnapshot { return lp.peer.SigStats() }
 // was set, for toggling outages at runtime; nil otherwise.
 func (lp *LivePeer) FaultInjector() *transport.FaultCaller { return lp.fault }
 
+// Stable reports whether the peer's ring links look settled: predecessor
+// known and successor set. A self-successor with no predecessor is a
+// singleton ring — the node IS the whole ring and answers lookups, so it
+// counts as stable (the stabilize protocol never self-notifies, so a
+// lone bootstrap peer would otherwise stay "not ready" forever).
+// peerd's /healthz readiness gates on it.
+func (lp *LivePeer) Stable() bool {
+	succ := lp.peer.Node().Successor()
+	if succ.IsZero() {
+		return false
+	}
+	if succ.ID == lp.Ref().ID {
+		return true
+	}
+	_, hasPred := lp.peer.Node().Predecessor()
+	return hasPred
+}
+
 // WaitStable blocks until the peer's successor and predecessor links look
 // settled (predecessor known and successor reachable) or the timeout
 // elapses. Convenience for tests and demos.
 func (lp *LivePeer) WaitStable(timeout time.Duration) bool {
 	deadline := time.Now().Add(timeout)
 	for time.Now().Before(deadline) {
-		succ := lp.peer.Node().Successor()
-		_, hasPred := lp.peer.Node().Predecessor()
-		if hasPred && !succ.IsZero() {
+		if lp.Stable() {
 			return true
 		}
 		time.Sleep(20 * time.Millisecond)
 	}
 	return false
+}
+
+// Status assembles the peer's self-description for the cluster
+// observability plane: identity, ring links, readiness, load, and the
+// process-local metrics snapshot. peerd serves it as JSON at /status;
+// rangetop polls it across the cluster.
+func (lp *LivePeer) Status() obs.NodeStatus {
+	return obs.NodeStatus{
+		Addr:      lp.Addr(),
+		Ref:       lp.Ref().String(),
+		Successor: lp.Successor().String(),
+		Stable:    lp.Stable(),
+		Stored:    lp.peer.Store().Len(),
+		Served:    lp.peer.ServedProbes(),
+		Metrics:   metrics.Default.Snapshot(),
+	}
+}
+
+// Connect starts an ephemeral query peer: it listens on an OS-assigned
+// local port, joins the ring via bootstrap, and waits for its links to
+// settle. Use it for interactive clients (rangeql -connect) that want to
+// issue lookups and SQL against a running cluster; Leave (or Close) when
+// done. The configuration must carry the ring's shared scheme parameters.
+func Connect(bootstrap string, cfg LiveConfig) (*LivePeer, error) {
+	if bootstrap == "" {
+		return nil, errors.New("p2prange: Connect requires a bootstrap address")
+	}
+	lp, err := StartPeer("127.0.0.1:0", bootstrap, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if !lp.WaitStable(10 * time.Second) {
+		lp.Close()
+		return nil, fmt.Errorf("p2prange: ring via %s did not stabilize", bootstrap)
+	}
+	return lp, nil
+}
+
+// LookupTraced is Lookup returning the stitched span tree of the whole
+// protocol run: the signature-cache outcome, one child span per probe
+// with its chord hops, and — over TCP — the serve spans executed on the
+// remote peers, grafted back with per-peer attribution.
+func (lp *LivePeer) LookupTraced(rel, attribute string, q Range, cache bool) (Match, bool, *Trace, error) {
+	sp := trace.New(fmt.Sprintf("lookup %s.%s %s from %s", rel, attribute, q, lp.Addr()))
+	lr, err := lp.peer.LookupTraced(rel, attribute, q, cache, sp)
+	sp.End()
+	if err != nil {
+		return Match{}, false, sp, err
+	}
+	return lr.Match, lr.Found, sp, nil
+}
+
+// AddBase registers a base relation at this peer for SQL execution with
+// source fallback, mirroring System.AddBase for live deployments.
+func (lp *LivePeer) AddBase(r *Relation) error {
+	if lp.schema == nil {
+		return errors.New("p2prange: LiveConfig.Schema required for relational data")
+	}
+	if _, ok := lp.schema.Relation(r.Schema.Name); !ok {
+		return fmt.Errorf("p2prange: relation %q not in the global schema", r.Schema.Name)
+	}
+	for _, col := range r.Schema.Columns {
+		if col.Type != relation.TString {
+			if err := r.BuildIndex(col.Name); err != nil {
+				return err
+			}
+		}
+	}
+	lp.mu.Lock()
+	lp.base[r.Schema.Name] = r
+	lp.mu.Unlock()
+	return nil
+}
+
+// Query parses, plans, and executes a restricted SQL SELECT from this
+// peer: selection leaves resolve through the DHT (with local base
+// fallback when AddBase registered the relation), joins and projection
+// run here.
+func (lp *LivePeer) Query(sql string) (*QueryResult, error) {
+	res, _, err := lp.runQuery(sql, false)
+	return res, err
+}
+
+// QueryTraced is Query returning the span tree of the execution,
+// including the serve spans of every remote peer that participated.
+func (lp *LivePeer) QueryTraced(sql string) (*QueryResult, *Trace, error) {
+	return lp.runQuery(sql, true)
+}
+
+func (lp *LivePeer) runQuery(sql string, traced bool) (*QueryResult, *Trace, error) {
+	if lp.schema == nil {
+		return nil, nil, errors.New("p2prange: LiveConfig.Schema required for SQL queries")
+	}
+	q, err := query.Parse(sql)
+	if err != nil {
+		return nil, nil, err
+	}
+	plan, err := query.BuildPlan(q, lp.schema)
+	if err != nil {
+		return nil, nil, err
+	}
+	lp.mu.RLock()
+	base := make(map[string]*relation.Relation, len(lp.base))
+	for name, r := range lp.base {
+		base[name] = r
+	}
+	lp.mu.RUnlock()
+	src := &peer.DataSource{Peer: lp.peer}
+	if len(base) > 0 {
+		src.Base = query.NewRelationSource(base)
+	}
+	var sp *Trace
+	if traced {
+		sp = trace.New(fmt.Sprintf("query from %s", lp.Addr()))
+	}
+	res, err := query.ExecuteTraced(plan, lp.schema, src, sp)
+	sp.End()
+	return res, sp, err
 }
 
 // ReclaimArc pulls the buckets this peer now owns from its successor;

@@ -173,3 +173,24 @@ func TestLiveReclaimArc(t *testing.T) {
 		}
 	}
 }
+
+func TestSingletonPeerIsStable(t *testing.T) {
+	// A lone bootstrap peer is the whole ring: it answers lookups and
+	// must report ready (the stabilize protocol never self-notifies, so
+	// it will never gain a predecessor — /healthz would 503 forever).
+	boot, err := StartPeer("127.0.0.1:0", "", LiveConfig{
+		K: 4, L: 3, SchemeSeed: 77,
+		Measure: MatchContainment,
+		Schema:  relation.MedicalSchema(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(boot.Close)
+	if !boot.Stable() {
+		t.Error("singleton peer reports not stable")
+	}
+	if st := boot.Status(); !st.Stable {
+		t.Errorf("singleton /status not ready: %+v", st)
+	}
+}

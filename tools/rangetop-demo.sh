@@ -1,0 +1,26 @@
+#!/bin/sh
+# Boots a 3-peer TCP ring with debug endpoints, drives one traced SQL
+# query through an ephemeral rangeql ring member, and prints the rangetop
+# cluster view once — the whole observability plane in ~15 seconds.
+set -e
+dir=$(mktemp -d)
+trap 'kill $p1 $p2 $p3 2>/dev/null; rm -rf "$dir"' EXIT INT TERM
+
+go build -o "$dir" ./cmd/peerd ./cmd/rangeql ./cmd/rangetop
+
+"$dir/peerd" -listen 127.0.0.1:7101 -debug-addr 127.0.0.1:8101 -status 0 >"$dir/p1.log" 2>&1 &
+p1=$!
+sleep 1
+"$dir/peerd" -listen 127.0.0.1:7102 -join 127.0.0.1:7101 -debug-addr 127.0.0.1:8102 -status 0 >"$dir/p2.log" 2>&1 &
+p2=$!
+"$dir/peerd" -listen 127.0.0.1:7103 -join 127.0.0.1:7101 -debug-addr 127.0.0.1:8103 -status 0 >"$dir/p3.log" 2>&1 &
+p3=$!
+sleep 3
+
+echo "== traced query through an ephemeral ring member =="
+"$dir/rangeql" -connect 127.0.0.1:7101 -trace \
+	-e "SELECT name FROM Patient WHERE 30 <= age AND age <= 50"
+
+echo
+echo "== rangetop cluster view =="
+"$dir/rangetop" -peers 127.0.0.1:8101,127.0.0.1:8102,127.0.0.1:8103 -once

@@ -1,0 +1,110 @@
+package p2prange
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"p2prange/internal/chord"
+	"p2prange/internal/minhash"
+	"p2prange/internal/peer"
+	"p2prange/internal/relation"
+	"p2prange/internal/sim"
+	"p2prange/internal/trace"
+)
+
+// TestStitchedTreeTransportEquivalence pins the propagation contract: one
+// lookup produces the identical stitched trace over the in-memory
+// transport and over real TCP — same spans, same serve-side attribution,
+// same hop counts — because the tree reflects the protocol, not the wire.
+// The in-memory cluster is given the live peers' exact addresses, so both
+// rings have the same chord IDs and ideal fingers.
+func TestStitchedTreeTransportEquivalence(t *testing.T) {
+	peers := liveRing(t, 6)
+	// Stabilization makes successors correct; force every finger to its
+	// ideal entry so live routing matches BuildStableRing's geometry
+	// instead of depending on how many fix-fingers rounds have elapsed.
+	for _, lp := range peers {
+		for k := uint(0); k < chord.M; k++ {
+			if err := lp.peer.Node().FixFinger(k); err != nil {
+				t.Fatalf("fix finger %d at %s: %v", k, lp.Ref(), err)
+			}
+		}
+	}
+
+	addrs := make([]string, len(peers))
+	for i, lp := range peers {
+		addrs[i] = lp.Addr()
+	}
+	// Same scheme parameters as liveRing: K=4, L=3, seed 77.
+	raw, err := minhash.NewScheme(Family(0), 4, 3, rand.New(rand.NewSource(77)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem, err := sim.NewCluster(sim.ClusterConfig{
+		N:     len(addrs),
+		Addrs: addrs,
+		Peer: peer.Config{
+			Scheme:  raw.Compiled(),
+			Measure: MatchContainment,
+			Schema:  relation.MedicalSchema(),
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Publish the same descriptor in both worlds: same holder address,
+	// same identifiers, same owners.
+	rg, _ := NewRange(30, 50)
+	part := PartitionInfo{Relation: "Patient", Attribute: "age", Range: rg, Holder: addrs[2]}
+	if err := peers[2].Publish(part); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mem.Peers[2].Publish(part); err != nil {
+		t.Fatal(err)
+	}
+
+	q, _ := NewRange(30, 49)
+	_, found, liveTr, err := peers[4].LookupTraced("Patient", "age", q, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !found {
+		t.Fatal("lookup over TCP found nothing")
+	}
+	liveTree := liveTr.Tree(false)
+
+	sp := trace.New(fmt.Sprintf("lookup %s.%s %s from %s", "Patient", "age", q, addrs[4]))
+	lr, err := mem.Peers[4].LookupTraced("Patient", "age", q, false, sp)
+	sp.End()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !lr.Found {
+		t.Fatal("lookup over the in-memory transport found nothing")
+	}
+	memTree := sp.Tree(false)
+
+	if liveTree != memTree {
+		t.Errorf("stitched trees differ across transports:\nTCP:\n%s\nin-memory:\n%s", liveTree, memTree)
+	}
+
+	// The tree must carry serve spans attributed to peers other than the
+	// origin — the propagated fragments, not just local work.
+	remotes := map[string]bool{}
+	for _, line := range strings.Split(liveTree, "\n") {
+		i := strings.Index(line, "serve FindBest @")
+		if i < 0 {
+			continue
+		}
+		addr := strings.TrimSpace(line[i+len("serve FindBest @"):])
+		if addr != addrs[4] {
+			remotes[addr] = true
+		}
+	}
+	if len(remotes) == 0 {
+		t.Errorf("no remote serve spans in the stitched tree:\n%s", liveTree)
+	}
+}

@@ -43,21 +43,36 @@ func TestLookupTraceGolden(t *testing.T) {
 │  ├─ hop: a64194af@10.0.0.7:4000
 │  ├─ hop: ad5acbef@10.0.0.6:4000
 │  ├─ owner: 0b3371f0@10.0.0.2:4000 hops=3
+│  ├─ serve FindBest @10.0.0.2:4000
+│  │  ├─ from: 10.0.0.0:4000
+│  │  └─ best: [30,50] score=1.000
 │  └─ match: [30,50] score=1.000
 ├─ probe 2/5 id=69c1a38f
 │  ├─ owner: 7dceec98@10.0.0.0:4000 hops=0
+│  ├─ serve FindBest @10.0.0.0:4000
+│  │  ├─ from: 10.0.0.0:4000
+│  │  └─ best: [30,50] score=1.000
 │  └─ match: [30,50] score=1.000
 ├─ probe 3/5 id=86e9e0fd
 │  ├─ owner: 90d9e78d@10.0.0.3:4000 hops=1
+│  ├─ serve FindBest @10.0.0.3:4000
+│  │  ├─ from: 10.0.0.0:4000
+│  │  └─ best: [30,50] score=1.000
 │  └─ match: [30,50] score=1.000
 ├─ probe 4/5 id=4cec38e0
 │  ├─ hop: 0b3371f0@10.0.0.2:4000
 │  ├─ hop: 2b45b454@10.0.0.1:4000
 │  ├─ hop: 458cf103@10.0.0.5:4000
 │  ├─ owner: 534daff3@10.0.0.4:4000 hops=4
+│  ├─ serve FindBest @10.0.0.4:4000
+│  │  ├─ from: 10.0.0.0:4000
+│  │  └─ best: [30,50] score=1.000
 │  └─ match: [30,50] score=1.000
 ├─ probe 5/5 id=61cd1ab1
 │  ├─ owner: 7dceec98@10.0.0.0:4000 hops=0
+│  ├─ serve FindBest @10.0.0.0:4000
+│  │  ├─ from: 10.0.0.0:4000
+│  │  └─ best: [30,50] score=1.000
 │  └─ match: [30,50] score=1.000
 └─ store: skipped (exact match)
 `
