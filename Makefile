@@ -9,9 +9,10 @@ test:
 	$(GO) test ./...
 
 # check is the pre-merge gate: formatting, static analysis, doc links,
-# doc flag tables, the nil-span allocation guard, a quick race pass over
-# the replica subsystem (the most concurrent code in the repo), then the
-# full suite under the race detector.
+# doc flag tables, the allocation guards, the wire-codec fuzz seed
+# corpora, a quick race pass over the replica subsystem (the most
+# concurrent code in the repo), then the full suite under the race
+# detector.
 check:
 	@unformatted=$$(gofmt -l .); \
 	if [ -n "$$unformatted" ]; then \
@@ -21,6 +22,7 @@ check:
 	$(MAKE) linkcheck
 	$(MAKE) flagcheck
 	$(MAKE) benchguard
+	$(GO) test -run 'Fuzz' ./internal/transport ./internal/peer
 	$(GO) test -race -run 'TestReplica' ./internal/replica ./internal/sim ./internal/store
 	$(GO) test -race ./...
 
@@ -33,14 +35,20 @@ linkcheck:
 flagcheck:
 	$(GO) run ./tools/checkflags
 
-# benchguard pins the disabled-tracer contract under -benchmem: a nil
-# span threaded through a hot path must stay at 0 allocs/op.
+# benchguard pins the hot-path allocation contracts under -benchmem: a
+# nil span threaded through a hot path and a probe-request binary
+# encode+decode round trip must both stay at 0 allocs/op.
 benchguard:
 	@out=$$($(GO) test -run '^$$' -bench BenchmarkDisabledSpan -benchmem ./internal/trace); \
 	if ! echo "$$out" | grep -q '0 allocs/op'; then \
 		echo "nil-span fast path allocates:"; echo "$$out"; exit 1; \
 	fi; \
 	echo "benchguard: disabled span holds 0 allocs/op"
+	@out=$$($(GO) test -run '^$$' -bench BenchmarkCodecProbe -benchmem ./internal/peer); \
+	if ! echo "$$out" | grep -q '0 allocs/op'; then \
+		echo "probe codec round trip allocates:"; echo "$$out"; exit 1; \
+	fi; \
+	echo "benchguard: probe codec round trip holds 0 allocs/op"
 
 # trace-demo prints a hop-by-hop span tree for one query on a simulated
 # 8-peer ring — the quickest way to see the observability layer.

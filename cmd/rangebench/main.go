@@ -37,6 +37,15 @@ func main() {
 		format = flag.String("format", "table", "output format: table | csv")
 		outDir = flag.String("o", "", "write each experiment to <dir>/<id>.<ext> instead of stdout")
 
+		load         = flag.Bool("load", false, "run the open-loop TCP load harness instead of a figure experiment")
+		loadQPS      = flag.Int("load-qps", 48000, "load harness: full-rate target arrival rate (approached through a fractional ramp)")
+		loadDuration = flag.Duration("load-duration", 2*time.Second, "load harness: duration of each ramp stage")
+		loadSLO      = flag.Duration("load-slo", 25*time.Millisecond, "load harness: p99 latency budget a stage must meet to count as sustained")
+		loadCodec    = flag.String("load-codec", "both", "load harness: wire protocol(s) to measure: both | binary | gob")
+		loadPeers    = flag.Int("load-peers", 3, "load harness: ring size (live TCP peers on loopback)")
+		loadOut      = flag.String("load-out", "BENCH_load.json", "load harness: JSON report path")
+		loadProfile  = flag.String("load-cpuprofile", "", "load harness: write a CPU profile of the run to this file")
+
 		sigCache    = flag.Int("sigcache", 0, "per-peer signature-cache capacity (ranges); 0 disables caching")
 		hashWorkers = flag.Int("hashworkers", 0, "goroutines signing the k*l hash functions of large ranges; <=1 is serial")
 		workloadP   = flag.String("workload", "", "query-distribution preset for quality runs: uniform (default) | zipf | clustered")
@@ -46,6 +55,23 @@ func main() {
 
 	if *list {
 		fmt.Println("available experiments:", strings.Join(experiments.IDs(), " "))
+		return
+	}
+	if *load {
+		err := runLoad(loadOptions{
+			qps:      *loadQPS,
+			duration: *loadDuration,
+			codec:    *loadCodec,
+			peers:    *loadPeers,
+			out:      *loadOut,
+			seed:     *seed,
+			profile:  *loadProfile,
+			slo:      *loadSLO,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rangebench: -load: %v\n", err)
+			os.Exit(1)
+		}
 		return
 	}
 	if *fig == "" {

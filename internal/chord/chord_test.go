@@ -388,7 +388,10 @@ func TestBuildStableRingRejectsDuplicates(t *testing.T) {
 }
 
 func TestLookupUnreachableRing(t *testing.T) {
-	nodes, client := buildRing(t, 6)
+	// The ring must be larger than the successor list: arcs the list
+	// covers resolve locally without touching the (dead) wire, so only
+	// lookups routed through intermediaries can observe the outage.
+	nodes, client := buildRing(t, 2*DefaultSuccessors)
 	// Take down everything except one origin; lookups through dead nodes
 	// must surface an error, not loop.
 	origin := nodes[0]

@@ -58,6 +58,9 @@ func (n *Node) route(id ID, sp *trace.Span) (Ref, int, error) {
 	if n.Owns(id) {
 		return n.ref, 0, nil
 	}
+	if owner, hops, ok := n.routeViaSuccessorList(id, sp); ok {
+		return owner, hops, nil
+	}
 	// from is the node whose routing table pointed us at cur; when cur
 	// turns out to be dead, from's successor list is the detour map.
 	from := n.ref
@@ -150,6 +153,32 @@ func (n *Node) route(id ID, sp *trace.Span) (Ref, int, error) {
 		}
 	}
 	return Ref{}, hops, fmt.Errorf("%w: routing loop resolving %s", ErrNotFound, FmtID(id))
+}
+
+// routeViaSuccessorList resolves ids falling on the arc the successor
+// list covers without any RPC: stabilization maintains our r nearest
+// successors, whose consecutive pairs (succs[i-1], succs[i]] are known
+// ownership segments (Stoica et al. §6.3 use the list the same way).
+// A hit is one hop — the query forwards straight to the owner instead
+// of walking the ring. The fast path declines — reporting ok=false so
+// the caller runs the full iterative loop — as soon as it meets a
+// suspect entry, because a dead successor's arc has already passed to
+// the next live node and only routeAround can pick it.
+func (n *Node) routeViaSuccessorList(id ID, sp *trace.Span) (Ref, int, bool) {
+	prev := n.ref
+	for _, s := range n.SuccessorList() {
+		if s.IsZero() || (n.reroute && s.ID != n.ref.ID && n.Suspect(s.ID)) {
+			return Ref{}, 0, false
+		}
+		if BetweenRightIncl(prev.ID, s.ID, id) {
+			if sp.On() {
+				sp.Eventf("shortcut", "%s via successor list", s)
+			}
+			return s, 1, true
+		}
+		prev = s
+	}
+	return Ref{}, 0, false
 }
 
 // handleDeadHop decides what to do after an RPC to cur failed. For

@@ -1,0 +1,224 @@
+package peer
+
+import (
+	"fmt"
+
+	"p2prange/internal/rangeset"
+	"p2prange/internal/store"
+	"p2prange/internal/transport"
+)
+
+// Binary codecs for the partition protocol's hot messages. Encoders and
+// decoders come in unboxed form (concrete types in and out, zero
+// allocations steady-state — benchmarked by BenchmarkCodecProbe and
+// enforced by `make benchguard`) plus thin boxed wrappers registered
+// with the transport's tag registry. FetchDataResp intentionally stays
+// on the gob fallback: it carries whole tuple sets, where encoding cost
+// is dominated by data volume, not framing.
+const (
+	tagFindBestReq       = transport.TagPeerBase + 0
+	tagFindBestResp      = transport.TagPeerBase + 1
+	tagStoreReq          = transport.TagPeerBase + 2
+	tagStoreResp         = transport.TagPeerBase + 3
+	tagFindBestBatchReq  = transport.TagPeerBase + 4
+	tagFindBestBatchResp = transport.TagPeerBase + 5
+	tagFetchDataReq      = transport.TagPeerBase + 6
+)
+
+// FindBestBatchReq probes several buckets owned by one peer in a single
+// round trip: all identifier probes of one lookup that resolve to the
+// same owner coalesce into one of these. Results align with IDs.
+type FindBestBatchReq struct {
+	Relation  string
+	Attribute string
+	Range     rangeset.Range
+	Measure   store.Measure
+	IDs       []uint32
+}
+
+// FindBestBatchResp carries one FindBestResp per requested bucket, in
+// request order.
+type FindBestBatchResp struct {
+	Results []FindBestResp
+}
+
+func appendRange(b []byte, r rangeset.Range) []byte {
+	b = transport.AppendVarint(b, r.Lo)
+	return transport.AppendVarint(b, r.Hi)
+}
+
+func parseRange(c *transport.Cursor) rangeset.Range {
+	return rangeset.Range{Lo: c.Varint(), Hi: c.Varint()}
+}
+
+func appendPartition(b []byte, p *store.Partition) []byte {
+	b = transport.AppendString(b, p.Relation)
+	b = transport.AppendString(b, p.Attribute)
+	b = appendRange(b, p.Range)
+	b = transport.AppendString(b, p.Holder)
+	b = transport.AppendUvarint(b, p.Version)
+	return transport.AppendString(b, p.Origin)
+}
+
+func parsePartition(c *transport.Cursor) store.Partition {
+	return store.Partition{
+		Relation:  c.String(),
+		Attribute: c.String(),
+		Range:     parseRange(c),
+		Holder:    c.String(),
+		Version:   c.Uvarint(),
+		Origin:    c.String(),
+	}
+}
+
+func appendFindBestReq(b []byte, r *FindBestReq) []byte {
+	b = transport.AppendUvarint(b, uint64(r.ID))
+	b = transport.AppendString(b, r.Relation)
+	b = transport.AppendString(b, r.Attribute)
+	b = appendRange(b, r.Range)
+	return transport.AppendUvarint(b, uint64(r.Measure))
+}
+
+func parseFindBestReq(c *transport.Cursor) FindBestReq {
+	return FindBestReq{
+		ID:        uint32(c.Uvarint()),
+		Relation:  c.String(),
+		Attribute: c.String(),
+		Range:     parseRange(c),
+		Measure:   store.Measure(c.Uvarint()),
+	}
+}
+
+// A FindBestResp with Found false encodes as the single flag byte: the
+// zero Match is implied, so empty-bucket responses stay tiny.
+func appendFindBestResp(b []byte, r *FindBestResp) []byte {
+	b = transport.AppendBool(b, r.Found)
+	if !r.Found {
+		return b
+	}
+	b = appendPartition(b, &r.Match.Partition)
+	return transport.AppendFloat64(b, r.Match.Score)
+}
+
+func parseFindBestResp(c *transport.Cursor) FindBestResp {
+	var r FindBestResp
+	r.Found = c.Bool()
+	if r.Found {
+		r.Match.Partition = parsePartition(c)
+		r.Match.Score = c.Float64()
+	}
+	return r
+}
+
+func appendStoreReq(b []byte, r *StoreReq) []byte {
+	b = transport.AppendUvarint(b, uint64(r.ID))
+	b = appendPartition(b, &r.Partition)
+	return transport.AppendBool(b, r.Replica)
+}
+
+func parseStoreReq(c *transport.Cursor) StoreReq {
+	return StoreReq{
+		ID:        uint32(c.Uvarint()),
+		Partition: parsePartition(c),
+		Replica:   c.Bool(),
+	}
+}
+
+func appendFetchDataReq(b []byte, r *FetchDataReq) []byte {
+	b = transport.AppendString(b, r.Relation)
+	b = transport.AppendString(b, r.Attribute)
+	return appendRange(b, r.Range)
+}
+
+func parseFetchDataReq(c *transport.Cursor) FetchDataReq {
+	return FetchDataReq{
+		Relation:  c.String(),
+		Attribute: c.String(),
+		Range:     parseRange(c),
+	}
+}
+
+func appendBatchReq(b []byte, r *FindBestBatchReq) []byte {
+	b = transport.AppendString(b, r.Relation)
+	b = transport.AppendString(b, r.Attribute)
+	b = appendRange(b, r.Range)
+	b = transport.AppendUvarint(b, uint64(r.Measure))
+	b = transport.AppendUvarint(b, uint64(len(r.IDs)))
+	for _, id := range r.IDs {
+		b = transport.AppendUvarint(b, uint64(id))
+	}
+	return b
+}
+
+func parseBatchReq(c *transport.Cursor) (FindBestBatchReq, error) {
+	r := FindBestBatchReq{
+		Relation:  c.String(),
+		Attribute: c.String(),
+		Range:     parseRange(c),
+		Measure:   store.Measure(c.Uvarint()),
+	}
+	n := c.Uvarint()
+	if c.Err != nil {
+		return r, c.Err
+	}
+	if n > uint64(c.Len()) { // each id needs ≥1 byte
+		return r, fmt.Errorf("%w: batch id count %d", transport.ErrBadFrame, n)
+	}
+	if n > 0 {
+		r.IDs = make([]uint32, 0, n)
+	}
+	for i := uint64(0); i < n && c.Err == nil; i++ {
+		r.IDs = append(r.IDs, uint32(c.Uvarint()))
+	}
+	return r, c.Err
+}
+
+func appendBatchResp(b []byte, r *FindBestBatchResp) []byte {
+	b = transport.AppendUvarint(b, uint64(len(r.Results)))
+	for i := range r.Results {
+		b = appendFindBestResp(b, &r.Results[i])
+	}
+	return b
+}
+
+func parseBatchResp(c *transport.Cursor) (FindBestBatchResp, error) {
+	var r FindBestBatchResp
+	n := c.Uvarint()
+	if c.Err != nil {
+		return r, c.Err
+	}
+	if n > uint64(c.Len()) { // each result needs ≥1 byte
+		return r, fmt.Errorf("%w: batch result count %d", transport.ErrBadFrame, n)
+	}
+	if n > 0 {
+		r.Results = make([]FindBestResp, 0, n)
+	}
+	for i := uint64(0); i < n && c.Err == nil; i++ {
+		r.Results = append(r.Results, parseFindBestResp(c))
+	}
+	return r, c.Err
+}
+
+func init() {
+	transport.RegisterCodec(tagFindBestReq, FindBestReq{},
+		func(b []byte, v any) []byte { r := v.(FindBestReq); return appendFindBestReq(b, &r) },
+		func(c *transport.Cursor) (any, error) { return parseFindBestReq(c), c.Err })
+	transport.RegisterCodec(tagFindBestResp, FindBestResp{},
+		func(b []byte, v any) []byte { r := v.(FindBestResp); return appendFindBestResp(b, &r) },
+		func(c *transport.Cursor) (any, error) { return parseFindBestResp(c), c.Err })
+	transport.RegisterCodec(tagStoreReq, StoreReq{},
+		func(b []byte, v any) []byte { r := v.(StoreReq); return appendStoreReq(b, &r) },
+		func(c *transport.Cursor) (any, error) { return parseStoreReq(c), c.Err })
+	transport.RegisterCodec(tagStoreResp, StoreResp{},
+		func(b []byte, v any) []byte { return transport.AppendBool(b, v.(StoreResp).Stored) },
+		func(c *transport.Cursor) (any, error) { return StoreResp{Stored: c.Bool()}, c.Err })
+	transport.RegisterCodec(tagFetchDataReq, FetchDataReq{},
+		func(b []byte, v any) []byte { r := v.(FetchDataReq); return appendFetchDataReq(b, &r) },
+		func(c *transport.Cursor) (any, error) { return parseFetchDataReq(c), c.Err })
+	transport.RegisterCodec(tagFindBestBatchReq, FindBestBatchReq{},
+		func(b []byte, v any) []byte { r := v.(FindBestBatchReq); return appendBatchReq(b, &r) },
+		func(c *transport.Cursor) (any, error) { return parseBatchReq(c) })
+	transport.RegisterCodec(tagFindBestBatchResp, FindBestBatchResp{},
+		func(b []byte, v any) []byte { r := v.(FindBestBatchResp); return appendBatchResp(b, &r) },
+		func(c *transport.Cursor) (any, error) { return parseBatchResp(c) })
+}

@@ -1,0 +1,170 @@
+package peer
+
+import (
+	"reflect"
+	"testing"
+
+	"p2prange/internal/rangeset"
+	"p2prange/internal/store"
+	"p2prange/internal/transport"
+)
+
+var codecPartition = store.Partition{
+	Relation:  "Patient",
+	Attribute: "age",
+	Range:     rangeset.Range{Lo: -12, Hi: 88},
+	Holder:    "10.1.2.3:4000",
+	Version:   9,
+	Origin:    "10.9.9.9:4000",
+}
+
+// TestUnboxedCodecRoundTrips drives every unboxed append/parse pair
+// through encode → decode → DeepEqual, including the compact encodings
+// (Found=false responses are a single byte; empty batches carry no ids).
+func TestUnboxedCodecRoundTrips(t *testing.T) {
+	t.Run("FindBestReq", func(t *testing.T) {
+		in := FindBestReq{ID: 12345, Relation: "Patient", Attribute: "age",
+			Range: rangeset.Range{Lo: 10, Hi: 19}, Measure: store.MatchContainment}
+		c := transport.NewCursor(appendFindBestReq(nil, &in))
+		out := parseFindBestReq(c)
+		if c.Err != nil || !reflect.DeepEqual(in, out) {
+			t.Errorf("round trip: got %+v err %v, want %+v", out, c.Err, in)
+		}
+	})
+	t.Run("FindBestRespFound", func(t *testing.T) {
+		in := FindBestResp{Found: true, Match: store.Match{Partition: codecPartition, Score: 0.625}}
+		c := transport.NewCursor(appendFindBestResp(nil, &in))
+		out := parseFindBestResp(c)
+		if c.Err != nil || !reflect.DeepEqual(in, out) {
+			t.Errorf("round trip: got %+v err %v, want %+v", out, c.Err, in)
+		}
+	})
+	t.Run("FindBestRespNotFound", func(t *testing.T) {
+		in := FindBestResp{Found: false}
+		b := appendFindBestResp(nil, &in)
+		if len(b) != 1 {
+			t.Errorf("empty-bucket response encoded as %d bytes, want 1", len(b))
+		}
+		c := transport.NewCursor(b)
+		out := parseFindBestResp(c)
+		if c.Err != nil || !reflect.DeepEqual(in, out) {
+			t.Errorf("round trip: got %+v err %v, want %+v", out, c.Err, in)
+		}
+	})
+	t.Run("StoreReq", func(t *testing.T) {
+		in := StoreReq{ID: 7, Partition: codecPartition, Replica: true}
+		c := transport.NewCursor(appendStoreReq(nil, &in))
+		out := parseStoreReq(c)
+		if c.Err != nil || !reflect.DeepEqual(in, out) {
+			t.Errorf("round trip: got %+v err %v, want %+v", out, c.Err, in)
+		}
+	})
+	t.Run("FetchDataReq", func(t *testing.T) {
+		in := FetchDataReq{Relation: "Patient", Attribute: "age", Range: rangeset.Range{Lo: 0, Hi: 99}}
+		c := transport.NewCursor(appendFetchDataReq(nil, &in))
+		out := parseFetchDataReq(c)
+		if c.Err != nil || !reflect.DeepEqual(in, out) {
+			t.Errorf("round trip: got %+v err %v, want %+v", out, c.Err, in)
+		}
+	})
+	t.Run("BatchReq", func(t *testing.T) {
+		in := FindBestBatchReq{Relation: "Patient", Attribute: "age",
+			Range: rangeset.Range{Lo: 4, Hi: 13}, Measure: store.MatchJaccard,
+			IDs: []uint32{0, 1, 1 << 31, 4294967295}}
+		out, err := parseBatchReq(transport.NewCursor(appendBatchReq(nil, &in)))
+		if err != nil || !reflect.DeepEqual(in, out) {
+			t.Errorf("round trip: got %+v err %v, want %+v", out, err, in)
+		}
+	})
+	t.Run("BatchReqEmpty", func(t *testing.T) {
+		in := FindBestBatchReq{Relation: "r", Attribute: "a"}
+		out, err := parseBatchReq(transport.NewCursor(appendBatchReq(nil, &in)))
+		if err != nil || !reflect.DeepEqual(in, out) {
+			t.Errorf("round trip: got %+v err %v, want %+v", out, err, in)
+		}
+	})
+	t.Run("BatchResp", func(t *testing.T) {
+		in := FindBestBatchResp{Results: []FindBestResp{
+			{Found: true, Match: store.Match{Partition: codecPartition, Score: 1}},
+			{Found: false},
+			{Found: true, Match: store.Match{Partition: codecPartition, Score: 0.25}},
+		}}
+		out, err := parseBatchResp(transport.NewCursor(appendBatchResp(nil, &in)))
+		if err != nil || !reflect.DeepEqual(in, out) {
+			t.Errorf("round trip: got %+v err %v, want %+v", out, err, in)
+		}
+	})
+}
+
+// TestBatchParseGuards pins the denial-of-service defenses in the batch
+// decoders: a declared element count larger than the remaining payload
+// must fail before allocating, not after.
+func TestBatchParseGuards(t *testing.T) {
+	req := appendBatchReq(nil, &FindBestBatchReq{Relation: "r", Attribute: "a"})
+	req[len(req)-1] = 0xff // rewrite id count to an overlong varint prefix
+	req = append(req, 0xff, 0xff, 0xff, 0xff, 0x0f)
+	if _, err := parseBatchReq(transport.NewCursor(req)); err == nil {
+		t.Error("batch req with absurd id count parsed")
+	}
+
+	resp := transport.AppendUvarint(nil, 1<<40) // count with no payload behind it
+	if _, err := parseBatchResp(transport.NewCursor(resp)); err == nil {
+		t.Error("batch resp with absurd result count parsed")
+	}
+}
+
+// FuzzFindBestReqParse throws arbitrary bytes at the probe-request
+// parser: anything that decodes cleanly must re-encode to an equivalent
+// request; anything else must latch an error without panicking.
+func FuzzFindBestReqParse(f *testing.F) {
+	seed := FindBestReq{ID: 99, Relation: "Patient", Attribute: "age",
+		Range: rangeset.Range{Lo: 2, Hi: 11}, Measure: store.MatchContainment}
+	payload := appendFindBestReq(nil, &seed)
+	f.Add(payload)
+	for cut := 0; cut < len(payload); cut++ {
+		f.Add(payload[:cut])
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<12 {
+			return
+		}
+		c := transport.NewCursor(data)
+		req := parseFindBestReq(c)
+		if c.Err != nil {
+			return
+		}
+		again := appendFindBestReq(nil, &req)
+		c2 := transport.NewCursor(again)
+		req2 := parseFindBestReq(c2)
+		if c2.Err != nil {
+			t.Fatalf("re-encoded request failed to parse: %v", c2.Err)
+		}
+		if !reflect.DeepEqual(req, req2) {
+			t.Errorf("request changed across a round trip:\nfirst:  %+v\nsecond: %+v", req, req2)
+		}
+	})
+}
+
+// BenchmarkCodecProbe measures the steady-state encode+decode cost of
+// one probe request — the innermost per-probe operation on the query
+// path. `make benchguard` asserts this stays at 0 allocs/op: the buffer
+// and cursor are reused, and the interner absorbs the string fields.
+func BenchmarkCodecProbe(b *testing.B) {
+	req := FindBestReq{ID: 77, Relation: "Patient", Attribute: "age",
+		Range: rangeset.Range{Lo: 40, Hi: 49}, Measure: store.MatchContainment}
+	buf := appendFindBestReq(nil, &req)
+	cur := transport.NewCursor(buf)
+	if got := parseFindBestReq(cur); cur.Err != nil || !reflect.DeepEqual(req, got) {
+		b.Fatalf("round trip broken before measuring: %+v err %v", got, cur.Err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = appendFindBestReq(buf[:0], &req)
+		cur.Reset(buf)
+		out := parseFindBestReq(cur)
+		if cur.Err != nil || out.ID != req.ID {
+			b.Fatal("round trip broken")
+		}
+	}
+}

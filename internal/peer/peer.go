@@ -24,6 +24,7 @@ import (
 var (
 	metLookups    = metrics.Default.Counter("peer.lookups")
 	metProbes     = metrics.Default.Counter("peer.probes")
+	metBatches    = metrics.Default.Counter("peer.batches")
 	metStores     = metrics.Default.Counter("peer.stores")
 	metPublishes  = metrics.Default.Counter("peer.publishes")
 	metFetches    = metrics.Default.Counter("peer.fetches")
@@ -271,6 +272,8 @@ func serveKind(req any) string {
 	switch req.(type) {
 	case FindBestReq:
 		return "FindBest"
+	case FindBestBatchReq:
+		return "FindBestBatch"
 	case StoreReq:
 		return "Store"
 	case replica.SyncReq:
@@ -288,25 +291,24 @@ func serveKind(req any) string {
 func (p *Peer) handle(req any, sp *trace.Span) (any, error) {
 	switch r := req.(type) {
 	case FindBestReq:
-		p.served.Add(1)
-		if p.replica != nil {
-			p.replica.Hit(r.ID)
-		}
-		var m store.Match
-		var ok bool
-		if p.cfg.UsePeerIndex {
-			m, ok = p.store.FindBestAnywhere(r.Relation, r.Attribute, r.Range, r.Measure)
-		} else {
-			m, ok = p.store.FindBest(r.ID, r.Relation, r.Attribute, r.Range, r.Measure)
-		}
+		fb := p.findBest(r.ID, r.Relation, r.Attribute, r.Range, r.Measure)
 		if sp.On() {
-			if ok {
-				sp.Eventf("best", "%s score=%.3f", m.Partition.Range, m.Score)
+			if fb.Found {
+				sp.Eventf("best", "%s score=%.3f", fb.Match.Partition.Range, fb.Match.Score)
 			} else {
 				sp.Event("best", "none")
 			}
 		}
-		return FindBestResp{Match: m, Found: ok}, nil
+		return fb, nil
+	case FindBestBatchReq:
+		resp := FindBestBatchResp{Results: make([]FindBestResp, len(r.IDs))}
+		for i, id := range r.IDs {
+			resp.Results[i] = p.findBest(id, r.Relation, r.Attribute, r.Range, r.Measure)
+		}
+		if sp.On() {
+			sp.Eventf("batch", "%d probe(s)", len(r.IDs))
+		}
+		return resp, nil
 	case StoreReq:
 		if p.replica != nil && !r.Replica && !p.store.Has(r.ID, r.Partition) {
 			// Stamp only descriptors this owner is about to admit:
@@ -367,6 +369,24 @@ func (p *Peer) handle(req any, sp *trace.Span) (any, error) {
 		}
 		return nil, transport.BadRequest(req)
 	}
+}
+
+// findBest serves one bucket probe: load accounting, hot-bucket hit
+// tracking, and the store search. Shared by the single-probe and batch
+// handlers so both paths count load identically.
+func (p *Peer) findBest(id uint32, rel, attribute string, q rangeset.Range, measure store.Measure) FindBestResp {
+	p.served.Add(1)
+	if p.replica != nil {
+		p.replica.Hit(id)
+	}
+	var m store.Match
+	var ok bool
+	if p.cfg.UsePeerIndex {
+		m, ok = p.store.FindBestAnywhere(rel, attribute, q, measure)
+	} else {
+		m, ok = p.store.FindBest(id, rel, attribute, q, measure)
+	}
+	return FindBestResp{Match: m, Found: ok}
 }
 
 // Replica exposes the replication manager (nil when Replicas is 0).
@@ -488,6 +508,14 @@ func (p *Peer) LookupTraced(rel, attribute string, q rangeset.Range, cache bool,
 			sp.Event("sig", "no signature pipeline")
 		}
 	}
+	// Untraced lookups without load-aware routing coalesce the probes
+	// bound for each owner into one batch round trip. Traced lookups keep
+	// the per-probe protocol so span trees are identical across
+	// transports (the TCP≡memory golden test pins them), and load-aware
+	// routing probes replica-set members individually by design.
+	if !sp.On() && !(p.replica != nil && p.cfg.LoadAware) && len(ids) > 1 {
+		return p.lookupBatched(rel, attribute, q, cache, ids, start)
+	}
 	owners := make([]chord.Ref, len(ids))
 	for i, id := range ids {
 		metProbes.Inc()
@@ -561,6 +589,92 @@ func (p *Peer) LookupTraced(rel, attribute string, q rangeset.Range, cache bool,
 		}
 	} else if sp.On() && cache {
 		sp.Event("store", "skipped (exact match)")
+	}
+	metLookupUS.Observe(uint64(time.Since(start).Microseconds()))
+	return res, nil
+}
+
+// lookupBatched is the coalescing fast path of LookupTraced: it resolves
+// every identifier's owner first, then issues one FindBestBatchReq per
+// distinct owner instead of one FindBestReq per identifier — probes that
+// hash into the same successor arc share a round trip. Any batch failure
+// (an unreachable owner, or a remote that predates the batch protocol)
+// degrades to the per-probe path with its usual owner failover, so the
+// result is identical to the unbatched protocol.
+func (p *Peer) lookupBatched(rel, attribute string, q rangeset.Range, cache bool, ids []uint32, start time.Time) (LookupResult, error) {
+	var res LookupResult
+	owners := make([]chord.Ref, len(ids))
+	groups := make(map[uint32][]int, len(ids)) // owner ID -> probe indices
+	order := make([]chord.Ref, 0, len(ids))    // distinct owners, first-seen order
+	for i, id := range ids {
+		metProbes.Inc()
+		owner, hops, err := p.node.Lookup(id)
+		if err != nil {
+			return res, fmt.Errorf("peer: route to bucket %08x: %w", id, err)
+		}
+		res.Hops = append(res.Hops, hops)
+		owners[i] = owner
+		if _, seen := groups[owner.ID]; !seen {
+			order = append(order, owner)
+		}
+		groups[owner.ID] = append(groups[owner.ID], i)
+	}
+	merge := func(fb FindBestResp) {
+		if fb.Found && (!res.Found || fb.Match.Score > res.Match.Score) {
+			res.Match = fb.Match
+			res.Found = true
+		}
+	}
+	for _, owner := range order {
+		idxs := groups[owner.ID]
+		batch := FindBestBatchReq{
+			Relation: rel, Attribute: attribute, Range: q, Measure: p.cfg.Measure,
+			IDs: make([]uint32, len(idxs)),
+		}
+		for j, i := range idxs {
+			batch.IDs[j] = ids[i]
+		}
+		metBatches.Inc()
+		resp, err := p.call(owner, batch)
+		br, ok := resp.(FindBestBatchResp)
+		if err == nil && ok && len(br.Results) == len(idxs) {
+			for j := range idxs {
+				merge(br.Results[j])
+			}
+			continue
+		}
+		// Fall back probe by probe; callOwner re-resolves a dead owner.
+		for _, i := range idxs {
+			req := FindBestReq{
+				ID: ids[i], Relation: rel, Attribute: attribute, Range: q, Measure: p.cfg.Measure,
+			}
+			newOwner, r2, err2 := p.callOwner(ids[i], owners[i], req, nil)
+			if err2 != nil {
+				return res, err2
+			}
+			owners[i] = newOwner
+			fb, ok := r2.(FindBestResp)
+			if !ok {
+				return res, transport.BadRequest(r2)
+			}
+			merge(fb)
+		}
+	}
+	exact := res.Found && res.Match.Partition.Range == q
+	if cache && !exact {
+		for i, id := range ids {
+			metStores.Inc()
+			_, _, err := p.callOwner(id, owners[i], StoreReq{
+				ID: id,
+				Partition: store.Partition{
+					Relation: rel, Attribute: attribute, Range: q, Holder: p.Addr(),
+				},
+			}, nil)
+			if err != nil {
+				return res, err
+			}
+		}
+		res.Stored = true
 	}
 	metLookupUS.Observe(uint64(time.Since(start).Microseconds()))
 	return res, nil

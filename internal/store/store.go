@@ -1,6 +1,7 @@
 package store
 
 import (
+	"container/list"
 	"fmt"
 	"sort"
 	"sync"
@@ -92,16 +93,24 @@ type Store struct {
 	buckets map[ID][]Partition
 	count   int // total stored descriptors across buckets
 	cap     int // 0 = unbounded
-	clock   uint64
-	touched map[string]uint64 // bucket-qualified key -> last match tick
+
+	// Recency tracking, maintained only on bounded stores: an intrusive
+	// LRU list (most-recently-matched at the front) plus an index from
+	// bucket-qualified key to list element, so both a touch and an
+	// eviction are O(1) instead of a full descriptor scan.
+	lru   *list.List
+	index map[string]*list.Element
+}
+
+// lruEntry locates one descriptor from its LRU list slot.
+type lruEntry struct {
+	id  ID
+	key string // entryKey(id, p)
 }
 
 // New returns an empty, unbounded store.
 func New() *Store {
-	return &Store{
-		buckets: make(map[ID][]Partition),
-		touched: make(map[string]uint64),
-	}
+	return &Store{buckets: make(map[ID][]Partition)}
 }
 
 // NewBounded returns a store that holds at most capacity descriptors,
@@ -109,6 +118,8 @@ func New() *Store {
 func NewBounded(capacity int) *Store {
 	s := New()
 	s.cap = capacity
+	s.lru = list.New()
+	s.index = make(map[string]*list.Element)
 	return s
 }
 
@@ -133,6 +144,10 @@ func (s *Store) Put(id ID, p Partition) bool {
 		if q.Relation == p.Relation && q.Attribute == p.Attribute && q.Range == p.Range {
 			if p.Version > q.Version {
 				s.buckets[id][i] = p
+				// A version upgrade is a repair of a live descriptor:
+				// refresh its recency so a freshly repaired hot replica is
+				// not the next eviction victim.
+				s.touchLocked(id, p)
 			}
 			return false
 		}
@@ -141,36 +156,61 @@ func (s *Store) Put(id ID, p Partition) bool {
 		s.evictLocked()
 	}
 	s.buckets[id] = append(s.buckets[id], p)
-	s.clock++
-	s.touched[entryKey(id, p)] = s.clock
+	s.touchLocked(id, p)
 	s.count++
 	return true
 }
 
-// evictLocked removes the least-recently-matched descriptor. Caller holds
+// touchLocked moves the descriptor to the LRU front, inserting it if
+// new. A no-op on unbounded stores, which track no recency. Caller holds
 // the write lock.
-func (s *Store) evictLocked() {
-	var victimID ID
-	victimIdx := -1
-	var oldest uint64 = ^uint64(0)
-	for id, bucket := range s.buckets {
-		for i, p := range bucket {
-			if tick := s.touched[entryKey(id, p)]; tick < oldest {
-				oldest = tick
-				victimID, victimIdx = id, i
-			}
-		}
-	}
-	if victimIdx < 0 {
+func (s *Store) touchLocked(id ID, p Partition) {
+	if s.cap == 0 {
 		return
 	}
-	bucket := s.buckets[victimID]
-	delete(s.touched, entryKey(victimID, bucket[victimIdx]))
-	bucket = append(bucket[:victimIdx], bucket[victimIdx+1:]...)
+	k := entryKey(id, p)
+	if el, ok := s.index[k]; ok {
+		s.lru.MoveToFront(el)
+		return
+	}
+	s.index[k] = s.lru.PushFront(lruEntry{id: id, key: k})
+}
+
+// dropLocked removes the descriptor's LRU state, if tracked. Caller
+// holds the write lock.
+func (s *Store) dropLocked(id ID, p Partition) {
+	if s.cap == 0 {
+		return
+	}
+	k := entryKey(id, p)
+	if el, ok := s.index[k]; ok {
+		s.lru.Remove(el)
+		delete(s.index, k)
+	}
+}
+
+// evictLocked removes the least-recently-matched descriptor — the back
+// of the LRU list, in O(bucket) rather than a scan of every descriptor.
+// Caller holds the write lock.
+func (s *Store) evictLocked() {
+	el := s.lru.Back()
+	if el == nil {
+		return
+	}
+	e := el.Value.(lruEntry)
+	s.lru.Remove(el)
+	delete(s.index, e.key)
+	bucket := s.buckets[e.id]
+	for i, p := range bucket {
+		if entryKey(e.id, p) == e.key {
+			bucket = append(bucket[:i], bucket[i+1:]...)
+			break
+		}
+	}
 	if len(bucket) == 0 {
-		delete(s.buckets, victimID)
+		delete(s.buckets, e.id)
 	} else {
-		s.buckets[victimID] = bucket
+		s.buckets[e.id] = bucket
 	}
 	s.count--
 }
@@ -181,18 +221,22 @@ func (s *Store) evictLocked() {
 // ok=false) so callers can tell an empty bucket from a dissimilar one.
 // On bounded stores a positive match refreshes the entry's LRU position.
 func (s *Store) FindBest(id ID, relation, attribute string, q rangeset.Range, measure Measure) (Match, bool) {
-	if s.cap == 0 {
-		s.mu.RLock()
-		defer s.mu.RUnlock()
-		return bestOf(s.buckets[id], relation, attribute, q, measure)
-	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
 	m, ok := bestOf(s.buckets[id], relation, attribute, q, measure)
-	if ok {
-		s.clock++
-		s.touched[entryKey(id, m.Partition)] = s.clock
+	bounded := s.cap > 0
+	s.mu.RUnlock()
+	if !ok || !bounded {
+		return m, ok
 	}
+	// Positive match on a bounded store: upgrade to the write lock only
+	// now, so concurrent misses (and concurrent hits' scans) share the
+	// read lock. The entry may have been evicted between the two locks —
+	// touch it only if the index still knows it.
+	s.mu.Lock()
+	if el, present := s.index[entryKey(id, m.Partition)]; present {
+		s.lru.MoveToFront(el)
+	}
+	s.mu.Unlock()
 	return m, ok
 }
 
@@ -290,7 +334,7 @@ func (s *Store) ExtractArc(from, to ID) map[ID][]Partition {
 			s.count -= len(bucket)
 			delete(s.buckets, id)
 			for _, p := range bucket {
-				delete(s.touched, entryKey(id, p))
+				s.dropLocked(id, p)
 			}
 		}
 	}

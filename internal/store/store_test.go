@@ -435,3 +435,77 @@ func TestReplicaDigestAndMissingFrom(t *testing.T) {
 		t.Errorf("filtered digest = %v", d)
 	}
 }
+
+func TestVersionUpgradeRefreshesLRU(t *testing.T) {
+	s := NewBounded(2)
+	a, b := part(0, 10), part(20, 30)
+	s.Put(1, a) // a is oldest
+	s.Put(2, b)
+	// Anti-entropy repairs a with a newer version: that must refresh its
+	// recency, making b the eviction victim — a repaired hot replica must
+	// not be first out the door.
+	repaired := a
+	repaired.Version = 5
+	s.Put(1, repaired)
+	s.Put(3, part(40, 50)) // overflow
+	if len(s.Bucket(1)) != 1 {
+		t.Error("freshly repaired descriptor evicted first")
+	}
+	if len(s.Bucket(2)) != 0 {
+		t.Error("stale descriptor survived eviction")
+	}
+}
+
+func TestEvictionAfterExtractArc(t *testing.T) {
+	// ExtractArc must scrub LRU state: an extracted descriptor can no
+	// longer be the eviction victim, and re-absorbing works.
+	s := NewBounded(3)
+	s.Put(1, part(0, 10))
+	s.Put(2, part(20, 30))
+	s.Put(3, part(40, 50))
+	out := s.ExtractArc(0, 2) // removes buckets 1 and 2
+	if s.Len() != 1 {
+		t.Fatalf("Len after extract = %d, want 1", s.Len())
+	}
+	s.Put(4, part(60, 70))
+	s.Put(5, part(80, 90))
+	s.Put(6, part(100, 110)) // overflow: must evict bucket 3 (oldest live)
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", s.Len())
+	}
+	if len(s.Bucket(3)) != 0 {
+		t.Error("oldest live entry (bucket 3) not evicted")
+	}
+	s.Absorb(out) // back over capacity triggers further evictions
+	if s.Len() != 3 {
+		t.Errorf("Len after absorb = %d, want capacity 3", s.Len())
+	}
+}
+
+func TestConcurrentBoundedFindBest(t *testing.T) {
+	// Bounded FindBest scans under the read lock and only upgrades on a
+	// hit; hammer hits, misses, and puts concurrently under the race
+	// detector.
+	s := NewBounded(50)
+	for i := int64(0); i < 50; i++ {
+		s.Put(ID(i), part(i*10, i*10+5))
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := int64(0); i < 300; i++ {
+				id := ID(i % 60)
+				s.FindBest(id, "R", "a", rangeset.Range{Lo: int64(id) * 10, Hi: int64(id)*10 + 5}, MatchJaccard)
+				if w == 0 {
+					s.Put(ID(50+i%10), part(1000+i, 1005+i))
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if s.Len() > 50 {
+		t.Errorf("Len = %d exceeds capacity", s.Len())
+	}
+}

@@ -1,0 +1,575 @@
+package transport
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"math"
+	"reflect"
+
+	"p2prange/internal/chord"
+	"p2prange/internal/trace"
+)
+
+// Binary wire codec. The TCP transport's hot path frames every request
+// and response as a length-prefixed binary message instead of a gob
+// stream: a uvarint frame length, then a small header (kind, correlation
+// id, flags, optional trace context / error / span fragments), a uvarint
+// message tag, and a tag-specific payload. Hot message types (chord
+// routing RPCs, bucket probes, descriptor stores) register hand-rolled
+// encoders keyed by tag; everything else — handoff, anti-entropy
+// digests, auxiliary protocols — rides inside a frame as a gob blob
+// (tagGobBlob), so no protocol is cut off by the codec. The frame layout
+// is documented in docs/ARCHITECTURE.md ("Wire protocol").
+
+// MaxFrame bounds one frame on the wire. A length prefix above it is a
+// protocol error, not an allocation: readers reject the frame before
+// buffering anything, so a corrupt or hostile peer cannot make a server
+// allocate gigabytes.
+const MaxFrame = 16 << 20
+
+// frame kinds.
+const (
+	kindRequest  = 0
+	kindResponse = 1
+)
+
+// header flag bits.
+const (
+	flagTC    = 1 << 0 // request carries a sampled trace context
+	flagErr   = 1 << 1 // response carries a handler error string
+	flagSpans = 1 << 2 // response carries remote span fragments
+)
+
+// Message tags. Tag 0 is a nil body (error-only responses); tagGobBlob
+// wraps any RegisterType'd value in a self-contained gob stream. Tags are
+// wire protocol: never renumber an existing one, only append.
+const (
+	tagNil     uint64 = 0
+	tagGobBlob uint64 = 1
+
+	// chord routing RPCs (registered below).
+	tagSuccessorReq        uint64 = 8
+	tagPredecessorReq      uint64 = 9
+	tagClosestPrecedingReq uint64 = 10
+	tagFindSuccessorReq    uint64 = 11
+	tagNotifyReq           uint64 = 12
+	tagPingReq             uint64 = 13
+	tagSuccessorListReq    uint64 = 14
+	tagRefResp             uint64 = 15
+	tagRefsResp            uint64 = 16
+	tagOKResp              uint64 = 17
+
+	// TagPeerBase is the first tag reserved for the peer protocol
+	// (internal/peer registers its codecs there).
+	TagPeerBase uint64 = 32
+
+	// TagReplicaBase is the first tag reserved for the replica protocol.
+	TagReplicaBase uint64 = 48
+)
+
+// EncodeFunc appends v's payload encoding to b and returns the extended
+// slice. It must accept exactly the prototype's concrete type.
+type EncodeFunc func(b []byte, v any) []byte
+
+// DecodeFunc decodes one payload from c, consuming exactly the bytes the
+// matching EncodeFunc produced.
+type DecodeFunc func(c *Cursor) (any, error)
+
+type codecEntry struct {
+	enc EncodeFunc
+	dec DecodeFunc
+}
+
+var (
+	codecByTag  = map[uint64]codecEntry{}
+	codecByType = map[reflect.Type]uint64{}
+)
+
+// RegisterCodec installs a binary encoder/decoder for one concrete
+// message type under a fixed tag. Both ends of the wire must register
+// the same tag for the same type (packages do so in init, like
+// RegisterType for gob). Unregistered types still travel as gob blobs.
+func RegisterCodec(tag uint64, prototype any, enc EncodeFunc, dec DecodeFunc) {
+	if tag <= tagGobBlob {
+		panic(fmt.Sprintf("transport: codec tag %d is reserved", tag))
+	}
+	if _, dup := codecByTag[tag]; dup {
+		panic(fmt.Sprintf("transport: codec tag %d registered twice", tag))
+	}
+	t := reflect.TypeOf(prototype)
+	if _, dup := codecByType[t]; dup {
+		panic(fmt.Sprintf("transport: codec for %v registered twice", t))
+	}
+	codecByTag[tag] = codecEntry{enc: enc, dec: dec}
+	codecByType[t] = tag
+	gob.Register(prototype) // the gob fallback path must still carry it
+}
+
+// --- append primitives (encoding side) ---
+
+// AppendUvarint appends x in unsigned LEB128.
+func AppendUvarint(b []byte, x uint64) []byte {
+	return binary.AppendUvarint(b, x)
+}
+
+// AppendVarint appends x zigzag-encoded.
+func AppendVarint(b []byte, x int64) []byte {
+	return binary.AppendVarint(b, x)
+}
+
+// AppendString appends a uvarint length followed by the raw bytes.
+func AppendString(b []byte, s string) []byte {
+	b = binary.AppendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+// AppendBool appends one byte, 0 or 1.
+func AppendBool(b []byte, v bool) []byte {
+	if v {
+		return append(b, 1)
+	}
+	return append(b, 0)
+}
+
+// AppendFloat64 appends the IEEE-754 bits, little-endian.
+func AppendFloat64(b []byte, f float64) []byte {
+	return binary.LittleEndian.AppendUint64(b, math.Float64bits(f))
+}
+
+// --- Cursor (decoding side) ---
+
+// interner deduplicates the small strings that repeat on every request
+// (relation and attribute names, peer addresses), so steady-state
+// decoding of a probe request allocates nothing. Bounded: once full, new
+// strings are returned uninterned.
+type interner struct {
+	m map[string]string
+}
+
+const maxInterned = 4096
+
+func (in *interner) intern(b []byte) string {
+	if len(b) == 0 {
+		return ""
+	}
+	if s, ok := in.m[string(b)]; ok { // no-alloc map probe
+		return s
+	}
+	s := string(b)
+	if len(s) <= 256 {
+		if in.m == nil {
+			in.m = make(map[string]string)
+		}
+		if len(in.m) < maxInterned {
+			in.m[s] = s
+		}
+	}
+	return s
+}
+
+// Cursor walks a frame payload. Decode errors latch into Err: after a
+// failed read every subsequent read returns a zero value, so message
+// decoders can read all fields and check Err once at the end.
+type Cursor struct {
+	data []byte
+	off  int
+	in   *interner
+	Err  error
+}
+
+// NewCursor returns a Cursor over data (for tests and fuzzing; the
+// transport builds its own, with a per-connection string interner).
+func NewCursor(data []byte) *Cursor {
+	return &Cursor{data: data, in: &interner{}}
+}
+
+// errTruncated is the latched error for reads past the end of the frame.
+var errTruncated = fmt.Errorf("%w: truncated frame", ErrBadFrame)
+
+// ErrBadFrame reports a malformed binary frame.
+var ErrBadFrame = fmt.Errorf("transport: bad frame")
+
+func (c *Cursor) fail() {
+	if c.Err == nil {
+		c.Err = errTruncated
+	}
+}
+
+// Uvarint reads an unsigned LEB128 value.
+func (c *Cursor) Uvarint() uint64 {
+	if c.Err != nil {
+		return 0
+	}
+	x, n := binary.Uvarint(c.data[c.off:])
+	if n <= 0 {
+		c.fail()
+		return 0
+	}
+	c.off += n
+	return x
+}
+
+// Varint reads a zigzag-encoded signed value.
+func (c *Cursor) Varint() int64 {
+	if c.Err != nil {
+		return 0
+	}
+	x, n := binary.Varint(c.data[c.off:])
+	if n <= 0 {
+		c.fail()
+		return 0
+	}
+	c.off += n
+	return x
+}
+
+// Bytes reads a length-prefixed byte slice as a view into the frame
+// buffer. The view is only valid until the next frame is read — copy it
+// (or use String) for anything that outlives the call.
+func (c *Cursor) Bytes() []byte {
+	n := c.Uvarint()
+	if c.Err != nil {
+		return nil
+	}
+	if n > uint64(len(c.data)-c.off) {
+		c.fail()
+		return nil
+	}
+	b := c.data[c.off : c.off+int(n)]
+	c.off += int(n)
+	return b
+}
+
+// String reads a length-prefixed string, interned so repeated values
+// (relation names, addresses) are decoded without allocating.
+func (c *Cursor) String() string {
+	b := c.Bytes()
+	if c.Err != nil || len(b) == 0 {
+		return ""
+	}
+	if c.in == nil {
+		return string(b)
+	}
+	return c.in.intern(b)
+}
+
+// Bool reads one byte as a boolean.
+func (c *Cursor) Bool() bool {
+	if c.Err != nil || c.off >= len(c.data) {
+		c.fail()
+		return false
+	}
+	b := c.data[c.off]
+	c.off++
+	return b != 0
+}
+
+// Float64 reads IEEE-754 bits, little-endian.
+func (c *Cursor) Float64() float64 {
+	if c.Err != nil || len(c.data)-c.off < 8 {
+		c.fail()
+		return 0
+	}
+	f := math.Float64frombits(binary.LittleEndian.Uint64(c.data[c.off:]))
+	c.off += 8
+	return f
+}
+
+// Len returns the number of unread bytes.
+func (c *Cursor) Len() int { return len(c.data) - c.off }
+
+// reset re-arms the cursor over a new frame, keeping the interner.
+func (c *Cursor) reset(data []byte) {
+	c.data, c.off, c.Err = data, 0, nil
+}
+
+// Reset re-arms the cursor over a new payload, keeping the interner, so
+// hot-path decoders (and benchmarks) can reuse one cursor allocation.
+func (c *Cursor) Reset(data []byte) { c.reset(data) }
+
+// --- frames ---
+
+// frame is one request or response in decoded form: the binary analogue
+// of envelope plus multiplexing metadata (kind, correlation id).
+type frame struct {
+	kind  byte
+	id    uint64 // correlation id matching responses to in-flight requests
+	tc    *trace.Context
+	err   string
+	spans []trace.Wire
+	body  any
+}
+
+// appendFrame appends the frame's encoding (without the outer length
+// prefix) to b. Unregistered body types fall back to a gob blob.
+func appendFrame(b []byte, f *frame) ([]byte, error) {
+	b = append(b, f.kind)
+	b = AppendUvarint(b, f.id)
+	var flags byte
+	if f.tc != nil && f.tc.Sampled {
+		flags |= flagTC
+	}
+	if f.err != "" {
+		flags |= flagErr
+	}
+	if len(f.spans) > 0 {
+		flags |= flagSpans
+	}
+	b = append(b, flags)
+	if flags&flagTC != 0 {
+		b = AppendUvarint(b, f.tc.TraceID)
+		b = AppendUvarint(b, f.tc.SpanID)
+		b = AppendString(b, f.tc.Caller)
+	}
+	if flags&flagErr != 0 {
+		b = AppendString(b, f.err)
+	}
+	if flags&flagSpans != 0 {
+		b = AppendUvarint(b, uint64(len(f.spans)))
+		for i := range f.spans {
+			b = appendWire(b, &f.spans[i])
+		}
+	}
+	if f.body == nil {
+		return AppendUvarint(b, tagNil), nil
+	}
+	if tag, ok := codecByType[reflect.TypeOf(f.body)]; ok {
+		b = AppendUvarint(b, tag)
+		return codecByTag[tag].enc(b, f.body), nil
+	}
+	b = AppendUvarint(b, tagGobBlob)
+	var blob bytes.Buffer
+	if err := gob.NewEncoder(&blob).Encode(&f.body); err != nil {
+		return nil, fmt.Errorf("transport: gob fallback for %T: %w", f.body, err)
+	}
+	b = AppendUvarint(b, uint64(blob.Len()))
+	return append(b, blob.Bytes()...), nil
+}
+
+// parseFrame decodes one frame from c (the payload after the outer
+// length prefix has been consumed).
+func parseFrame(c *Cursor) (frame, error) {
+	var f frame
+	if c.Len() < 1 {
+		return f, errTruncated
+	}
+	f.kind = c.data[c.off]
+	c.off++
+	if f.kind != kindRequest && f.kind != kindResponse {
+		return f, fmt.Errorf("%w: kind %d", ErrBadFrame, f.kind)
+	}
+	f.id = c.Uvarint()
+	var flags byte
+	if c.Err == nil && c.off < len(c.data) {
+		flags = c.data[c.off]
+		c.off++
+	} else {
+		c.fail()
+	}
+	if flags&flagTC != 0 {
+		f.tc = &trace.Context{
+			TraceID: c.Uvarint(),
+			SpanID:  c.Uvarint(),
+			Sampled: true,
+			Caller:  c.String(),
+		}
+	}
+	if flags&flagErr != 0 {
+		f.err = c.String()
+	}
+	if flags&flagSpans != 0 {
+		n := c.Uvarint()
+		if n > uint64(c.Len()) { // each span needs ≥1 byte
+			return f, fmt.Errorf("%w: span count %d", ErrBadFrame, n)
+		}
+		f.spans = make([]trace.Wire, 0, n)
+		for i := uint64(0); i < n && c.Err == nil; i++ {
+			w, err := parseWire(c, 0)
+			if err != nil {
+				return f, err
+			}
+			f.spans = append(f.spans, w)
+		}
+	}
+	tag := c.Uvarint()
+	if c.Err != nil {
+		return f, c.Err
+	}
+	switch tag {
+	case tagNil:
+	case tagGobBlob:
+		blob := c.Bytes()
+		if c.Err != nil {
+			return f, c.Err
+		}
+		if err := gob.NewDecoder(bytes.NewReader(blob)).Decode(&f.body); err != nil {
+			return f, fmt.Errorf("%w: gob blob: %v", ErrBadFrame, err)
+		}
+	default:
+		entry, ok := codecByTag[tag]
+		if !ok {
+			return f, fmt.Errorf("%w: unknown tag %d", ErrBadFrame, tag)
+		}
+		body, err := entry.dec(c)
+		if err != nil {
+			return f, err
+		}
+		f.body = body
+	}
+	if c.Err != nil {
+		return f, c.Err
+	}
+	return f, nil
+}
+
+// --- trace span fragments ---
+
+// maxWireDepth bounds span-tree recursion so a malicious frame cannot
+// blow the stack.
+const maxWireDepth = 64
+
+func appendWire(b []byte, w *trace.Wire) []byte {
+	b = AppendUvarint(b, w.TraceID)
+	b = AppendUvarint(b, w.Parent)
+	b = AppendUvarint(b, w.SpanID)
+	b = AppendString(b, w.Name)
+	b = AppendVarint(b, w.DurUS)
+	b = AppendUvarint(b, uint64(len(w.Items)))
+	for i := range w.Items {
+		it := &w.Items[i]
+		b = AppendString(b, it.Kind)
+		b = AppendString(b, it.Detail)
+		if it.Child != nil {
+			b = append(b, 1)
+			b = appendWire(b, it.Child)
+		} else {
+			b = append(b, 0)
+		}
+	}
+	return b
+}
+
+func parseWire(c *Cursor, depth int) (trace.Wire, error) {
+	var w trace.Wire
+	if depth > maxWireDepth {
+		return w, fmt.Errorf("%w: span tree too deep", ErrBadFrame)
+	}
+	w.TraceID = c.Uvarint()
+	w.Parent = c.Uvarint()
+	w.SpanID = c.Uvarint()
+	w.Name = c.String()
+	w.DurUS = c.Varint()
+	n := c.Uvarint()
+	if c.Err != nil {
+		return w, c.Err
+	}
+	if n > uint64(c.Len()) { // each item needs ≥3 bytes
+		return w, fmt.Errorf("%w: span item count %d", ErrBadFrame, n)
+	}
+	for i := uint64(0); i < n; i++ {
+		var it trace.WireItem
+		it.Kind = c.String()
+		it.Detail = c.String()
+		hasChild := c.Bool()
+		if c.Err != nil {
+			return w, c.Err
+		}
+		if hasChild {
+			child, err := parseWire(c, depth+1)
+			if err != nil {
+				return w, err
+			}
+			it.Child = &child
+		}
+		w.Items = append(w.Items, it)
+	}
+	return w, c.Err
+}
+
+// --- chord RPC codecs ---
+
+func appendRef(b []byte, r chord.Ref) []byte {
+	b = AppendUvarint(b, uint64(r.ID))
+	return AppendString(b, r.Addr)
+}
+
+func parseRef(c *Cursor) chord.Ref {
+	return chord.Ref{ID: chord.ID(c.Uvarint()), Addr: c.String()}
+}
+
+// empty is the codec pair for zero-field messages; the prototype's
+// identity is carried entirely by the tag.
+func emptyCodec(prototype any) (EncodeFunc, DecodeFunc) {
+	return func(b []byte, _ any) []byte { return b },
+		func(_ *Cursor) (any, error) { return prototype, nil }
+}
+
+func init() {
+	enc, dec := emptyCodec(SuccessorReq{})
+	RegisterCodec(tagSuccessorReq, SuccessorReq{}, enc, dec)
+	enc, dec = emptyCodec(PredecessorReq{})
+	RegisterCodec(tagPredecessorReq, PredecessorReq{}, enc, dec)
+	enc, dec = emptyCodec(PingReq{})
+	RegisterCodec(tagPingReq, PingReq{}, enc, dec)
+	enc, dec = emptyCodec(SuccessorListReq{})
+	RegisterCodec(tagSuccessorListReq, SuccessorListReq{}, enc, dec)
+	enc, dec = emptyCodec(OKResp{})
+	RegisterCodec(tagOKResp, OKResp{}, enc, dec)
+
+	RegisterCodec(tagClosestPrecedingReq, ClosestPrecedingReq{},
+		func(b []byte, v any) []byte {
+			return AppendUvarint(b, uint64(v.(ClosestPrecedingReq).ID))
+		},
+		func(c *Cursor) (any, error) {
+			return ClosestPrecedingReq{ID: chord.ID(c.Uvarint())}, c.Err
+		})
+	RegisterCodec(tagFindSuccessorReq, FindSuccessorReq{},
+		func(b []byte, v any) []byte {
+			return AppendUvarint(b, uint64(v.(FindSuccessorReq).ID))
+		},
+		func(c *Cursor) (any, error) {
+			return FindSuccessorReq{ID: chord.ID(c.Uvarint())}, c.Err
+		})
+	RegisterCodec(tagNotifyReq, NotifyReq{},
+		func(b []byte, v any) []byte {
+			return appendRef(b, v.(NotifyReq).Self)
+		},
+		func(c *Cursor) (any, error) {
+			return NotifyReq{Self: parseRef(c)}, c.Err
+		})
+	RegisterCodec(tagRefResp, RefResp{},
+		func(b []byte, v any) []byte {
+			return appendRef(b, v.(RefResp).Ref)
+		},
+		func(c *Cursor) (any, error) {
+			return RefResp{Ref: parseRef(c)}, c.Err
+		})
+	RegisterCodec(tagRefsResp, RefsResp{},
+		func(b []byte, v any) []byte {
+			refs := v.(RefsResp).Refs
+			b = AppendUvarint(b, uint64(len(refs)))
+			for _, r := range refs {
+				b = appendRef(b, r)
+			}
+			return b
+		},
+		func(c *Cursor) (any, error) {
+			n := c.Uvarint()
+			if c.Err != nil {
+				return nil, c.Err
+			}
+			if n > uint64(c.Len()) { // each ref needs ≥2 bytes
+				return nil, fmt.Errorf("%w: ref count %d", ErrBadFrame, n)
+			}
+			var resp RefsResp
+			if n > 0 {
+				resp.Refs = make([]chord.Ref, 0, n)
+			}
+			for i := uint64(0); i < n && c.Err == nil; i++ {
+				resp.Refs = append(resp.Refs, parseRef(c))
+			}
+			return resp, c.Err
+		})
+}

@@ -1,0 +1,370 @@
+package transport
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"errors"
+	"net"
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"p2prange/internal/trace"
+)
+
+// --- codec round trips and fuzzing ---
+
+// sampleFrames builds a deterministic corpus: every registered codec's
+// zero-value prototype plus frames exercising each optional field (trace
+// context, error string, spans, gob-blob body, nil body).
+func sampleFrames(t testing.TB) [][]byte {
+	var frames []frame
+	for typ := range codecByType {
+		body := reflect.New(typ).Elem().Interface()
+		frames = append(frames,
+			frame{kind: kindRequest, id: 1, body: body},
+			frame{kind: kindResponse, id: 2, body: body},
+		)
+	}
+	frames = append(frames,
+		frame{kind: kindRequest, id: 7}, // nil body
+		frame{kind: kindResponse, id: 8, err: "handler exploded"},
+		frame{kind: kindRequest, id: 9,
+			tc:   &trace.Context{TraceID: 0xfeed, SpanID: 0xbeef, Sampled: true, Caller: "10.0.0.1:4000"},
+			body: echoReq{Msg: "traced"}}, // unregistered type -> gob blob
+		frame{kind: kindResponse, id: 10, spans: []trace.Wire{{
+			TraceID: 1, Parent: 2, SpanID: 3, Name: "serve", DurUS: 42,
+			Items: []trace.WireItem{{Kind: "event", Detail: "hit"}},
+		}}},
+	)
+	out := make([][]byte, 0, len(frames))
+	for i := range frames {
+		b, err := appendFrame(nil, &frames[i])
+		if err != nil {
+			t.Fatalf("encoding seed frame %d: %v", i, err)
+		}
+		out = append(out, b)
+	}
+	return out
+}
+
+// TestFrameRoundTripRegistered re-parses every corpus frame and checks
+// encode(parse(x)) == x semantically.
+func TestFrameRoundTripRegistered(t *testing.T) {
+	for i, payload := range sampleFrames(t) {
+		fr, err := parseFrame(NewCursor(payload))
+		if err != nil {
+			t.Fatalf("frame %d failed to parse: %v", i, err)
+		}
+		again, err := appendFrame(nil, &fr)
+		if err != nil {
+			t.Fatalf("frame %d failed to re-encode: %v", i, err)
+		}
+		fr2, err := parseFrame(NewCursor(again))
+		if err != nil {
+			t.Fatalf("frame %d failed to re-parse: %v", i, err)
+		}
+		if !reflect.DeepEqual(fr, fr2) {
+			t.Errorf("frame %d changed across a round trip:\nfirst:  %+v\nsecond: %+v", i, fr, fr2)
+		}
+	}
+}
+
+// FuzzFrameParse feeds arbitrary payloads to the frame parser. Whatever
+// parses must re-encode and re-parse to the same frame; everything else
+// must fail cleanly (no panic, no runaway allocation). Seeds cover every
+// registered message type plus truncations of a fully loaded frame.
+func FuzzFrameParse(f *testing.F) {
+	corpus := sampleFrames(f)
+	for _, payload := range corpus {
+		f.Add(payload)
+	}
+	full := corpus[len(corpus)-1]
+	for cut := 0; cut < len(full); cut += 3 {
+		f.Add(full[:cut]) // truncated frames
+	}
+	f.Add([]byte{kindRequest, 0x01, flagSpans, 0xff, 0xff, 0xff, 0xff, 0x0f}) // absurd span count
+	f.Add(binary.AppendUvarint([]byte{kindRequest, 0x01, 0x00}, tagGobBlob))  // gob blob, no length
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		if len(payload) > 1<<16 {
+			return
+		}
+		fr, err := parseFrame(NewCursor(payload))
+		if err != nil {
+			return
+		}
+		if len(fr.spans) == 0 {
+			fr.spans = nil // flagSpans with count 0 decodes as empty, encodes as absent
+		}
+		again, err := appendFrame(nil, &fr)
+		if err != nil {
+			t.Fatalf("parsed frame failed to re-encode: %v", err)
+		}
+		fr2, err := parseFrame(NewCursor(again))
+		if err != nil {
+			t.Fatalf("re-encoded frame failed to parse: %v", err)
+		}
+		if !reflect.DeepEqual(fr, fr2) {
+			t.Errorf("frame changed across a round trip:\nfirst:  %+v\nsecond: %+v", fr, fr2)
+		}
+	})
+}
+
+// TestReadFramePayloadGuards pins the length-prefix defenses: a declared
+// length beyond MaxFrame is rejected before any allocation, an overlong
+// uvarint prefix is a bad frame, and a torn payload reports how many
+// bytes it consumed.
+func TestReadFramePayloadGuards(t *testing.T) {
+	var rbuf []byte
+
+	oversized := binary.AppendUvarint(nil, uint64(MaxFrame)+1)
+	if _, _, err := readFramePayload(bufio.NewReader(bytes.NewReader(oversized)), &rbuf); !errors.Is(err, ErrBadFrame) {
+		t.Errorf("oversized length prefix: err = %v, want ErrBadFrame", err)
+	}
+
+	overlong := bytes.Repeat([]byte{0x80}, binary.MaxVarintLen64+1)
+	if _, _, err := readFramePayload(bufio.NewReader(bytes.NewReader(overlong)), &rbuf); !errors.Is(err, ErrBadFrame) {
+		t.Errorf("overlong uvarint: err = %v, want ErrBadFrame", err)
+	}
+
+	torn := append(binary.AppendUvarint(nil, 100), make([]byte, 10)...)
+	_, consumed, err := readFramePayload(bufio.NewReader(bytes.NewReader(torn)), &rbuf)
+	if err == nil {
+		t.Fatal("torn frame parsed")
+	}
+	if consumed != len(torn) {
+		t.Errorf("torn frame consumed %d bytes, want %d", consumed, len(torn))
+	}
+}
+
+// --- negotiation ---
+
+// legacyGobServer emulates a pre-binary-codec peer: a raw listener that
+// speaks only the sequential gob protocol and drops any connection whose
+// stream does not decode (which is what a binary hello looks like to it).
+func legacyGobServer(t *testing.T) (addr string, stop func()) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			wg.Add(1)
+			go func(conn net.Conn) {
+				defer wg.Done()
+				defer conn.Close()
+				dec := gob.NewDecoder(conn)
+				enc := gob.NewEncoder(conn)
+				for {
+					var req envelope
+					if err := dec.Decode(&req); err != nil {
+						return // a binary hello lands here
+					}
+					resp, herr := echoHandler(req.Body)
+					out := envelope{Body: resp}
+					if herr != nil {
+						out.Err = herr.Error()
+					}
+					if err := enc.Encode(out); err != nil {
+						return
+					}
+				}
+			}(conn)
+		}
+	}()
+	return ln.Addr().String(), func() { ln.Close(); wg.Wait() }
+}
+
+// TestBinaryFallsBackToLegacyGobServer checks protocol negotiation from
+// the client side: a default (binary) caller hitting a gob-only server
+// must detect the dropped hello, mark the address, and complete every
+// call over gob — including calls after the first.
+func TestBinaryFallsBackToLegacyGobServer(t *testing.T) {
+	addr, stop := legacyGobServer(t)
+	defer stop()
+	caller := NewTCPCaller()
+	defer caller.Close()
+	for i := 0; i < 3; i++ {
+		resp, err := caller.Call(addr, echoReq{Msg: "legacy"})
+		if err != nil {
+			t.Fatalf("call %d over fallback: %v", i, err)
+		}
+		if resp.(echoResp).Msg != "legacy" {
+			t.Errorf("call %d resp = %v", i, resp)
+		}
+	}
+	caller.mu.Lock()
+	fellBack := caller.gobAddrs[addr]
+	nmux := len(caller.muxes)
+	caller.mu.Unlock()
+	if !fellBack {
+		t.Error("address not marked as gob after a dropped hello")
+	}
+	if nmux != 0 {
+		t.Errorf("%d mux connections live after fallback, want 0", nmux)
+	}
+}
+
+// TestForcedGobCodec checks the escape hatch: Codec=CodecGob must never
+// even attempt binary negotiation against a modern server.
+func TestForcedGobCodec(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := ServeTCP(ln, echoHandler)
+	defer srv.Close()
+	caller := NewTCPCaller()
+	caller.Codec = CodecGob
+	defer caller.Close()
+	resp, err := caller.Call(srv.Addr(), echoReq{Msg: "forced"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.(echoResp).Msg != "forced" {
+		t.Errorf("resp = %v", resp)
+	}
+	caller.mu.Lock()
+	nmux := len(caller.muxes)
+	caller.mu.Unlock()
+	if nmux != 0 {
+		t.Errorf("forced gob caller opened %d mux connections", nmux)
+	}
+}
+
+// --- multiplexing ---
+
+// TestMuxPipelinesBehindSlowHandler proves requests share one connection
+// without head-of-line blocking: a fast call issued while a slow call is
+// in flight on the same mux must complete long before the slow one.
+func TestMuxPipelinesBehindSlowHandler(t *testing.T) {
+	const delay = 200 * time.Millisecond
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := ServeTCP(ln, func(req any) (any, error) {
+		if req.(echoReq).Msg == "slow" {
+			time.Sleep(delay)
+		}
+		return echoResp{Msg: req.(echoReq).Msg}, nil
+	})
+	defer srv.Close()
+	caller := NewTCPCaller()
+	defer caller.Close()
+
+	slowDone := make(chan error, 1)
+	go func() {
+		_, err := caller.Call(srv.Addr(), echoReq{Msg: "slow"})
+		slowDone <- err
+	}()
+	time.Sleep(20 * time.Millisecond) // let the slow request get on the wire
+	start := time.Now()
+	if _, err := caller.Call(srv.Addr(), echoReq{Msg: "fast"}); err != nil {
+		t.Fatal(err)
+	}
+	if fastTook := time.Since(start); fastTook > delay/2 {
+		t.Errorf("fast call took %v behind a %v handler; pipelining is not working", fastTook, delay)
+	}
+	if err := <-slowDone; err != nil {
+		t.Fatalf("slow call: %v", err)
+	}
+	caller.mu.Lock()
+	nmux := len(caller.muxes)
+	caller.mu.Unlock()
+	if nmux != 1 {
+		t.Errorf("calls used %d connections, want 1 multiplexed", nmux)
+	}
+}
+
+// TestMuxCloseRacesInFlightCalls closes the caller while calls sit in
+// flight on the multiplexed path: every call must return promptly —
+// either its real response or ErrCallerClosed — and no goroutine may
+// deadlock waiting for a correlation id that will never resolve.
+func TestMuxCloseRacesInFlightCalls(t *testing.T) {
+	const delay = 50 * time.Millisecond
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := ServeTCP(ln, func(req any) (any, error) {
+		time.Sleep(delay)
+		return echoResp{Msg: "late"}, nil
+	})
+	defer srv.Close()
+
+	for round := 0; round < 5; round++ {
+		caller := NewTCPCaller()
+		var wg sync.WaitGroup
+		var unexpected atomic.Int32
+		for g := 0; g < 8; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				_, err := caller.Call(srv.Addr(), echoReq{Msg: "inflight"})
+				if err != nil && !errors.Is(err, ErrCallerClosed) && !Retryable(err) {
+					t.Errorf("in-flight call failed oddly: %v", err)
+					unexpected.Add(1)
+				}
+			}()
+		}
+		time.Sleep(delay / 2) // calls are now pipelined and waiting
+		caller.Close()
+
+		done := make(chan struct{})
+		go func() { wg.Wait(); close(done) }()
+		select {
+		case <-done:
+		case <-time.After(5 * time.Second):
+			t.Fatal("in-flight calls did not return after Close: deadlock")
+		}
+		if _, err := caller.Call(srv.Addr(), echoReq{}); !errors.Is(err, ErrCallerClosed) {
+			t.Fatalf("call after Close = %v, want ErrCallerClosed", err)
+		}
+	}
+}
+
+// TestMuxHandlerPanicBecomesError checks the serveBinary recovery path:
+// a panicking handler answers with an error frame (counted in
+// transport.panics) instead of tearing down the connection — the next
+// call on the same mux still works.
+func TestMuxHandlerPanicBecomesError(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := ServeTCP(ln, func(req any) (any, error) {
+		if req.(echoReq).Msg == "panic" {
+			panic("kaboom")
+		}
+		return echoResp{Msg: "fine"}, nil
+	})
+	defer srv.Close()
+	caller := NewTCPCaller()
+	defer caller.Close()
+
+	before := metPanics.Value()
+	_, err = caller.Call(srv.Addr(), echoReq{Msg: "panic"})
+	var remote *RemoteError
+	if !errors.As(err, &remote) {
+		t.Fatalf("panicking handler returned %v, want RemoteError", err)
+	}
+	if metPanics.Value() != before+1 {
+		t.Errorf("transport.panics = %d, want %d", metPanics.Value(), before+1)
+	}
+	if _, err := caller.Call(srv.Addr(), echoReq{Msg: "ok"}); err != nil {
+		t.Fatalf("call after handler panic: %v (connection should survive)", err)
+	}
+}

@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"bufio"
 	"encoding/gob"
 	"errors"
 	"io"
@@ -83,6 +84,10 @@ func (s *TCPServer) acceptLoop() {
 	}
 }
 
+// serveConn sniffs the client's protocol from the first byte — the
+// binary hello can never start a gob stream — and serves whichever the
+// client speaks. New clients get framed binary multiplexing; old gob
+// clients keep working unchanged.
 func (s *TCPServer) serveConn(conn net.Conn) {
 	defer s.wg.Done()
 	defer func() {
@@ -91,7 +96,21 @@ func (s *TCPServer) serveConn(conn net.Conn) {
 		delete(s.conns, conn)
 		s.mu.Unlock()
 	}()
-	dec := gob.NewDecoder(conn)
+	br := bufio.NewReaderSize(conn, 32<<10)
+	hello, err := br.Peek(len(binaryMagic))
+	if err == nil && [5]byte(hello) == binaryMagic {
+		br.Discard(len(binaryMagic))
+		s.serveBinary(conn, br)
+		return
+	}
+	s.serveGob(conn, br)
+}
+
+// serveGob is the legacy protocol loop: one gob envelope per request,
+// strictly sequential per connection. A handler panic is converted to an
+// envelope error instead of crashing the process.
+func (s *TCPServer) serveGob(conn net.Conn, br *bufio.Reader) {
+	dec := gob.NewDecoder(br)
 	enc := gob.NewEncoder(conn)
 	for {
 		var req envelope
@@ -102,7 +121,7 @@ func (s *TCPServer) serveConn(conn net.Conn) {
 		if req.TC != nil {
 			tc = *req.TC
 		}
-		resp, spans, err := s.handler(tc, req.Body)
+		resp, spans, err := safeHandle(s.handler, tc, req.Body)
 		out := envelope{Body: resp, Spans: spans}
 		if err != nil {
 			out.Err = err.Error()
@@ -148,12 +167,20 @@ type TCPCaller struct {
 	// CallTimeout bounds a single request/response round trip (default 5s).
 	CallTimeout time.Duration
 	// PoolSize is the number of connections kept per remote address
-	// (default DefaultPoolSize). Set before the first Call.
+	// (default DefaultPoolSize). Only the gob path pools; the binary
+	// path multiplexes one connection per address. Set before the first
+	// Call.
 	PoolSize int
+	// Codec selects the wire protocol: CodecBinary (default) negotiates
+	// the framed binary codec per address with automatic per-address
+	// fallback to gob, CodecGob forces gob. Set before the first Call.
+	Codec string
 
-	mu     sync.Mutex
-	pools  map[string]chan *tcpConn
-	closed bool
+	mu       sync.Mutex
+	pools    map[string]chan *tcpConn
+	muxes    map[string]*muxConn
+	gobAddrs map[string]bool // addresses that negotiated down to gob
+	closed   bool
 }
 
 // tcpConn is one pooled connection slot. A slot is owned exclusively by
@@ -172,6 +199,8 @@ func NewTCPCaller() *TCPCaller {
 		CallTimeout: 5 * time.Second,
 		PoolSize:    DefaultPoolSize,
 		pools:       make(map[string]chan *tcpConn),
+		muxes:       make(map[string]*muxConn),
+		gobAddrs:    make(map[string]bool),
 	}
 }
 
@@ -227,10 +256,37 @@ func (c *TCPCaller) CallCtx(addr string, tc trace.Context, req any) (any, []trac
 	return resp.Body, resp.Spans, nil
 }
 
-// roundTrip sends one envelope and decodes the reply, managing the
-// per-address connection pool.
+// roundTrip sends one envelope and decodes the reply, dispatching to the
+// multiplexed binary path or the pooled gob path per the negotiated
+// protocol for addr.
 func (c *TCPCaller) roundTrip(addr string, env envelope) (envelope, error) {
 	metCalls.Inc()
+	if c.Codec != CodecGob {
+		c.mu.Lock()
+		viaGob := c.gobAddrs[addr]
+		c.mu.Unlock()
+		if !viaGob {
+			m, fallback, err := c.mux(addr)
+			if err != nil {
+				return envelope{}, err
+			}
+			if !fallback {
+				return m.roundTrip(env, c.CallTimeout)
+			}
+			c.mu.Lock()
+			if c.gobAddrs == nil {
+				c.gobAddrs = make(map[string]bool)
+			}
+			c.gobAddrs[addr] = true
+			c.mu.Unlock()
+		}
+	}
+	return c.gobRoundTrip(addr, env)
+}
+
+// gobRoundTrip is the legacy gob path: one call per pooled connection
+// slot, whole round trips serialized behind PoolSize sockets.
+func (c *TCPCaller) gobRoundTrip(addr string, env envelope) (envelope, error) {
 	pool, err := c.pool(addr)
 	if err != nil {
 		return envelope{}, err
@@ -306,7 +362,14 @@ func (c *TCPCaller) Close() {
 	}
 	c.closed = true
 	pools := c.pools
+	muxes := make([]*muxConn, 0, len(c.muxes))
+	for _, m := range c.muxes {
+		muxes = append(muxes, m)
+	}
 	c.mu.Unlock()
+	for _, m := range muxes {
+		m.fail(ErrCallerClosed)
+	}
 	for _, p := range pools {
 		var drained []*tcpConn
 	drain:

@@ -15,6 +15,9 @@ import (
 var (
 	metCalls  = metrics.Default.Counter("transport.calls")
 	metErrors = metrics.Default.Counter("transport.errors")
+	// metPanics counts handler panics recovered by the server loops and
+	// converted to envelope errors instead of crashing the process.
+	metPanics = metrics.Default.Counter("transport.panics")
 )
 
 // Caller issues a request to the node at addr and returns its response.

@@ -71,6 +71,12 @@ type LiveConfig struct {
 	// HashWorkers parallelizes signing across the k*l hash functions for
 	// large ranges; 0 or 1 keeps signing serial.
 	HashWorkers int
+	// Codec selects the TCP wire protocol for outgoing calls:
+	// transport.CodecBinary (the default, with per-address fallback when a
+	// remote only speaks gob) or transport.CodecGob to force the legacy
+	// protocol. The server side always answers whichever protocol the
+	// client opens with.
+	Codec string
 }
 
 func (c LiveConfig) withDefaults() LiveConfig {
@@ -97,6 +103,8 @@ type LivePeer struct {
 	fault      *transport.FaultCaller
 	schema     *relation.Schema
 
+	coalesce *query.Coalescer // shared singleflight for untraced SQL leaf fetches
+
 	mu   sync.RWMutex
 	base map[string]*relation.Relation // local base relations for SQL fallback
 }
@@ -119,6 +127,7 @@ func StartPeer(listenAddr, bootstrap string, cfg LiveConfig) (*LivePeer, error) 
 	}
 	stats := &metrics.RouteStats{}
 	tcp := transport.NewTCPCaller()
+	tcp.Codec = cfg.Codec
 	caller := transport.Caller(tcp)
 	var fault *transport.FaultCaller
 	if cfg.Fault != nil {
@@ -156,13 +165,14 @@ func StartPeer(listenAddr, bootstrap string, cfg LiveConfig) (*LivePeer, error) 
 		return nil, err
 	}
 	lp := &LivePeer{
-		peer:   p,
-		caller: tcp,
-		server: transport.ServeTCPTraced(ln, p.HandleTraced),
-		stats:  stats,
-		fault:  fault,
-		schema: cfg.Schema,
-		base:   make(map[string]*relation.Relation),
+		peer:     p,
+		caller:   tcp,
+		server:   transport.ServeTCPTraced(ln, p.HandleTraced),
+		stats:    stats,
+		fault:    fault,
+		schema:   cfg.Schema,
+		base:     make(map[string]*relation.Relation),
+		coalesce: query.NewCoalescer(),
 	}
 	if bootstrap != "" {
 		if err := p.Node().Join(bootstrap); err != nil {
@@ -204,6 +214,18 @@ func (lp *LivePeer) Lookup(rel, attribute string, q Range, cache bool) (Match, b
 		}
 	}
 	return Match{}, false, lastErr
+}
+
+// LookupOnce runs a single approximate range lookup with no
+// stabilization-retry loop: a routing failure surfaces immediately.
+// Load generators use it so each attempt costs exactly one protocol
+// run and failures land in the error budget instead of a backoff sleep.
+func (lp *LivePeer) LookupOnce(rel, attribute string, q Range, cache bool) (Match, bool, error) {
+	lr, err := lp.peer.Lookup(rel, attribute, q, cache)
+	if err != nil {
+		return Match{}, false, err
+	}
+	return lr.Match, lr.Found, nil
 }
 
 // Publish stores a partition descriptor held by this peer under its l
@@ -386,11 +408,18 @@ func (lp *LivePeer) runQuery(sql string, traced bool) (*QueryResult, *Trace, err
 	if len(base) > 0 {
 		src.Base = query.NewRelationSource(base)
 	}
+	// Untraced executions share the peer's singleflight: identical
+	// concurrent leaf fetches collapse into one DHT lookup. Traced runs
+	// stay unshared so every span tree reflects its own query's work.
+	execSrc := query.Source(src)
+	if !traced {
+		execSrc = lp.coalesce.Bind(src)
+	}
 	var sp *Trace
 	if traced {
 		sp = trace.New(fmt.Sprintf("query from %s", lp.Addr()))
 	}
-	res, err := query.ExecuteTraced(plan, lp.schema, src, sp)
+	res, err := query.ExecuteTraced(plan, lp.schema, execSrc, sp)
 	sp.End()
 	return res, sp, err
 }

@@ -40,9 +40,8 @@ func TestLookupTraceGolden(t *testing.T) {
 	const want = `lookup Patient.age [30,50] from 10.0.0.0:4000
 ├─ sig: hits=0 extends=0 misses=1
 ├─ probe 1/5 id=cf7d4f9f
-│  ├─ hop: a64194af@10.0.0.7:4000
-│  ├─ hop: ad5acbef@10.0.0.6:4000
-│  ├─ owner: 0b3371f0@10.0.0.2:4000 hops=3
+│  ├─ shortcut: 0b3371f0@10.0.0.2:4000 via successor list
+│  ├─ owner: 0b3371f0@10.0.0.2:4000 hops=1
 │  ├─ serve FindBest @10.0.0.2:4000
 │  │  ├─ from: 10.0.0.0:4000
 │  │  └─ best: [30,50] score=1.000
@@ -54,16 +53,15 @@ func TestLookupTraceGolden(t *testing.T) {
 │  │  └─ best: [30,50] score=1.000
 │  └─ match: [30,50] score=1.000
 ├─ probe 3/5 id=86e9e0fd
+│  ├─ shortcut: 90d9e78d@10.0.0.3:4000 via successor list
 │  ├─ owner: 90d9e78d@10.0.0.3:4000 hops=1
 │  ├─ serve FindBest @10.0.0.3:4000
 │  │  ├─ from: 10.0.0.0:4000
 │  │  └─ best: [30,50] score=1.000
 │  └─ match: [30,50] score=1.000
 ├─ probe 4/5 id=4cec38e0
-│  ├─ hop: 0b3371f0@10.0.0.2:4000
-│  ├─ hop: 2b45b454@10.0.0.1:4000
-│  ├─ hop: 458cf103@10.0.0.5:4000
-│  ├─ owner: 534daff3@10.0.0.4:4000 hops=4
+│  ├─ shortcut: 534daff3@10.0.0.4:4000 via successor list
+│  ├─ owner: 534daff3@10.0.0.4:4000 hops=1
 │  ├─ serve FindBest @10.0.0.4:4000
 │  │  ├─ from: 10.0.0.0:4000
 │  │  └─ best: [30,50] score=1.000
