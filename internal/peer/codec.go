@@ -165,7 +165,7 @@ func parseBatchReq(c *transport.Cursor) (FindBestBatchReq, error) {
 		return r, fmt.Errorf("%w: batch id count %d", transport.ErrBadFrame, n)
 	}
 	if n > 0 {
-		r.IDs = make([]uint32, 0, n)
+		r.IDs = make([]uint32, 0, transport.PreallocHint(n))
 	}
 	for i := uint64(0); i < n && c.Err == nil; i++ {
 		r.IDs = append(r.IDs, uint32(c.Uvarint()))
@@ -191,7 +191,7 @@ func parseBatchResp(c *transport.Cursor) (FindBestBatchResp, error) {
 		return r, fmt.Errorf("%w: batch result count %d", transport.ErrBadFrame, n)
 	}
 	if n > 0 {
-		r.Results = make([]FindBestResp, 0, n)
+		r.Results = make([]FindBestResp, 0, transport.PreallocHint(n))
 	}
 	for i := uint64(0); i < n && c.Err == nil; i++ {
 		r.Results = append(r.Results, parseFindBestResp(c))
@@ -200,25 +200,25 @@ func parseBatchResp(c *transport.Cursor) (FindBestBatchResp, error) {
 }
 
 func init() {
-	transport.RegisterCodec(tagFindBestReq, FindBestReq{},
+	transport.RegisterCodec(tagFindBestReq, FindBestReq{}, transport.DirRequest,
 		func(b []byte, v any) []byte { r := v.(FindBestReq); return appendFindBestReq(b, &r) },
 		func(c *transport.Cursor) (any, error) { return parseFindBestReq(c), c.Err })
-	transport.RegisterCodec(tagFindBestResp, FindBestResp{},
+	transport.RegisterCodec(tagFindBestResp, FindBestResp{}, transport.DirResponse,
 		func(b []byte, v any) []byte { r := v.(FindBestResp); return appendFindBestResp(b, &r) },
 		func(c *transport.Cursor) (any, error) { return parseFindBestResp(c), c.Err })
-	transport.RegisterCodec(tagStoreReq, StoreReq{},
+	transport.RegisterCodec(tagStoreReq, StoreReq{}, transport.DirRequest,
 		func(b []byte, v any) []byte { r := v.(StoreReq); return appendStoreReq(b, &r) },
 		func(c *transport.Cursor) (any, error) { return parseStoreReq(c), c.Err })
-	transport.RegisterCodec(tagStoreResp, StoreResp{},
+	transport.RegisterCodec(tagStoreResp, StoreResp{}, transport.DirResponse,
 		func(b []byte, v any) []byte { return transport.AppendBool(b, v.(StoreResp).Stored) },
 		func(c *transport.Cursor) (any, error) { return StoreResp{Stored: c.Bool()}, c.Err })
-	transport.RegisterCodec(tagFetchDataReq, FetchDataReq{},
+	transport.RegisterCodec(tagFetchDataReq, FetchDataReq{}, transport.DirRequest,
 		func(b []byte, v any) []byte { r := v.(FetchDataReq); return appendFetchDataReq(b, &r) },
 		func(c *transport.Cursor) (any, error) { return parseFetchDataReq(c), c.Err })
-	transport.RegisterCodec(tagFindBestBatchReq, FindBestBatchReq{},
+	transport.RegisterCodec(tagFindBestBatchReq, FindBestBatchReq{}, transport.DirRequest,
 		func(b []byte, v any) []byte { r := v.(FindBestBatchReq); return appendBatchReq(b, &r) },
 		func(c *transport.Cursor) (any, error) { return parseBatchReq(c) })
-	transport.RegisterCodec(tagFindBestBatchResp, FindBestBatchResp{},
+	transport.RegisterCodec(tagFindBestBatchResp, FindBestBatchResp{}, transport.DirResponse,
 		func(b []byte, v any) []byte { r := v.(FindBestBatchResp); return appendBatchResp(b, &r) },
 		func(c *transport.Cursor) (any, error) { return parseBatchResp(c) })
 }

@@ -23,11 +23,38 @@ import (
 // (tagGobBlob), so no protocol is cut off by the codec. The frame layout
 // is documented in docs/ARCHITECTURE.md ("Wire protocol").
 
-// MaxFrame bounds one frame on the wire. A length prefix above it is a
-// protocol error, not an allocation: readers reject the frame before
-// buffering anything, so a corrupt or hostile peer cannot make a server
-// allocate gigabytes.
+// MaxFrame bounds one request frame on the wire. A length prefix above
+// it is a protocol error, not an allocation: readers reject the frame
+// before buffering anything, so a corrupt or hostile client cannot make
+// a server allocate gigabytes.
 const MaxFrame = 16 << 20
+
+// MaxRespFrame bounds one response frame. Responses are read only from
+// servers the caller chose to dial, so the trust model is asymmetric:
+// the limit exists to catch corruption, not hostile peers, and is large
+// enough for bulk payloads (FetchDataResp gob blobs carrying whole
+// tuple sets) that the legacy gob path carried without any limit.
+// Transfers beyond it must use CodecGob.
+const MaxRespFrame = 1 << 30
+
+// preallocLimit caps slice capacity preallocated from a wire-declared
+// element count. Counts are validated against the remaining payload
+// (one byte per element minimum), but elements decode into structs much
+// larger than their encoding — a 16 MiB frame may legally declare ~16.7M
+// elements, which at ~72 bytes each would preallocate over a gigabyte
+// before the first element fails to parse. Decoders therefore start at
+// min(n, preallocLimit) and let append grow the honest ones.
+const preallocLimit = 1024
+
+// PreallocHint returns the initial slice capacity to use for a
+// wire-declared element count: the count itself when small, clamped to
+// a fixed bound so a hostile length cannot force a huge allocation.
+func PreallocHint(n uint64) int {
+	if n > preallocLimit {
+		return preallocLimit
+	}
+	return int(n)
+}
 
 // frame kinds.
 const (
@@ -77,9 +104,20 @@ type EncodeFunc func(b []byte, v any) []byte
 // matching EncodeFunc produced.
 type DecodeFunc func(c *Cursor) (any, error)
 
+// Codec directions. A tag registered DirRequest only decodes inside
+// request frames, DirResponse only inside responses — so a hostile
+// client cannot drive a server through response decoders (and their
+// allocation patterns) it would never legitimately run.
+const (
+	DirRequest  byte = 1 << kindRequest
+	DirResponse byte = 1 << kindResponse
+	DirBoth          = DirRequest | DirResponse
+)
+
 type codecEntry struct {
 	enc EncodeFunc
 	dec DecodeFunc
+	dir byte
 }
 
 var (
@@ -88,12 +126,16 @@ var (
 )
 
 // RegisterCodec installs a binary encoder/decoder for one concrete
-// message type under a fixed tag. Both ends of the wire must register
-// the same tag for the same type (packages do so in init, like
+// message type under a fixed tag, valid in the given frame direction
+// (DirRequest, DirResponse, or DirBoth). Both ends of the wire must
+// register the same tag for the same type (packages do so in init, like
 // RegisterType for gob). Unregistered types still travel as gob blobs.
-func RegisterCodec(tag uint64, prototype any, enc EncodeFunc, dec DecodeFunc) {
+func RegisterCodec(tag uint64, prototype any, dir byte, enc EncodeFunc, dec DecodeFunc) {
 	if tag <= tagGobBlob {
 		panic(fmt.Sprintf("transport: codec tag %d is reserved", tag))
+	}
+	if dir&DirBoth == 0 {
+		panic(fmt.Sprintf("transport: codec tag %d has no direction", tag))
 	}
 	if _, dup := codecByTag[tag]; dup {
 		panic(fmt.Sprintf("transport: codec tag %d registered twice", tag))
@@ -102,7 +144,7 @@ func RegisterCodec(tag uint64, prototype any, enc EncodeFunc, dec DecodeFunc) {
 	if _, dup := codecByType[t]; dup {
 		panic(fmt.Sprintf("transport: codec for %v registered twice", t))
 	}
-	codecByTag[tag] = codecEntry{enc: enc, dec: dec}
+	codecByTag[tag] = codecEntry{enc: enc, dec: dec, dir: dir}
 	codecByType[t] = tag
 	gob.Register(prototype) // the gob fallback path must still carry it
 }
@@ -384,7 +426,7 @@ func parseFrame(c *Cursor) (frame, error) {
 		if n > uint64(c.Len()) { // each span needs ≥1 byte
 			return f, fmt.Errorf("%w: span count %d", ErrBadFrame, n)
 		}
-		f.spans = make([]trace.Wire, 0, n)
+		f.spans = make([]trace.Wire, 0, PreallocHint(n))
 		for i := uint64(0); i < n && c.Err == nil; i++ {
 			w, err := parseWire(c, 0)
 			if err != nil {
@@ -411,6 +453,9 @@ func parseFrame(c *Cursor) (frame, error) {
 		entry, ok := codecByTag[tag]
 		if !ok {
 			return f, fmt.Errorf("%w: unknown tag %d", ErrBadFrame, tag)
+		}
+		if entry.dir&(1<<f.kind) == 0 {
+			return f, fmt.Errorf("%w: tag %d not valid in kind-%d frames", ErrBadFrame, tag, f.kind)
 		}
 		body, err := entry.dec(c)
 		if err != nil {
@@ -508,45 +553,45 @@ func emptyCodec(prototype any) (EncodeFunc, DecodeFunc) {
 
 func init() {
 	enc, dec := emptyCodec(SuccessorReq{})
-	RegisterCodec(tagSuccessorReq, SuccessorReq{}, enc, dec)
+	RegisterCodec(tagSuccessorReq, SuccessorReq{}, DirRequest, enc, dec)
 	enc, dec = emptyCodec(PredecessorReq{})
-	RegisterCodec(tagPredecessorReq, PredecessorReq{}, enc, dec)
+	RegisterCodec(tagPredecessorReq, PredecessorReq{}, DirRequest, enc, dec)
 	enc, dec = emptyCodec(PingReq{})
-	RegisterCodec(tagPingReq, PingReq{}, enc, dec)
+	RegisterCodec(tagPingReq, PingReq{}, DirRequest, enc, dec)
 	enc, dec = emptyCodec(SuccessorListReq{})
-	RegisterCodec(tagSuccessorListReq, SuccessorListReq{}, enc, dec)
+	RegisterCodec(tagSuccessorListReq, SuccessorListReq{}, DirRequest, enc, dec)
 	enc, dec = emptyCodec(OKResp{})
-	RegisterCodec(tagOKResp, OKResp{}, enc, dec)
+	RegisterCodec(tagOKResp, OKResp{}, DirResponse, enc, dec)
 
-	RegisterCodec(tagClosestPrecedingReq, ClosestPrecedingReq{},
+	RegisterCodec(tagClosestPrecedingReq, ClosestPrecedingReq{}, DirRequest,
 		func(b []byte, v any) []byte {
 			return AppendUvarint(b, uint64(v.(ClosestPrecedingReq).ID))
 		},
 		func(c *Cursor) (any, error) {
 			return ClosestPrecedingReq{ID: chord.ID(c.Uvarint())}, c.Err
 		})
-	RegisterCodec(tagFindSuccessorReq, FindSuccessorReq{},
+	RegisterCodec(tagFindSuccessorReq, FindSuccessorReq{}, DirRequest,
 		func(b []byte, v any) []byte {
 			return AppendUvarint(b, uint64(v.(FindSuccessorReq).ID))
 		},
 		func(c *Cursor) (any, error) {
 			return FindSuccessorReq{ID: chord.ID(c.Uvarint())}, c.Err
 		})
-	RegisterCodec(tagNotifyReq, NotifyReq{},
+	RegisterCodec(tagNotifyReq, NotifyReq{}, DirRequest,
 		func(b []byte, v any) []byte {
 			return appendRef(b, v.(NotifyReq).Self)
 		},
 		func(c *Cursor) (any, error) {
 			return NotifyReq{Self: parseRef(c)}, c.Err
 		})
-	RegisterCodec(tagRefResp, RefResp{},
+	RegisterCodec(tagRefResp, RefResp{}, DirResponse,
 		func(b []byte, v any) []byte {
 			return appendRef(b, v.(RefResp).Ref)
 		},
 		func(c *Cursor) (any, error) {
 			return RefResp{Ref: parseRef(c)}, c.Err
 		})
-	RegisterCodec(tagRefsResp, RefsResp{},
+	RegisterCodec(tagRefsResp, RefsResp{}, DirResponse,
 		func(b []byte, v any) []byte {
 			refs := v.(RefsResp).Refs
 			b = AppendUvarint(b, uint64(len(refs)))
@@ -565,7 +610,7 @@ func init() {
 			}
 			var resp RefsResp
 			if n > 0 {
-				resp.Refs = make([]chord.Ref, 0, n)
+				resp.Refs = make([]chord.Ref, 0, PreallocHint(n))
 			}
 			for i := uint64(0); i < n && c.Err == nil; i++ {
 				resp.Refs = append(resp.Refs, parseRef(c))

@@ -48,37 +48,33 @@ const prefixRoom = binary.MaxVarintLen64
 // per-call error) before the whole connection is declared dead.
 const readDeadlineGrace = 2 * time.Second
 
+// respWriteTimeout bounds one server-side response flush. A client that
+// stops reading makes the flush fail instead of wedging worker
+// goroutines in conn.Write forever.
+const respWriteTimeout = time.Minute
+
 // errEncode marks frame-encoding failures (as opposed to socket write
 // failures): the connection is still healthy, only this one message
 // could not be put on the wire.
 var errEncode = errors.New("transport: frame encoding failed")
 
-// writeFrame length-prefixes and writes one frame, reusing *bufp across
-// calls (it grows once, then steady-state writes allocate nothing).
-func writeFrame(w io.Writer, bufp *[]byte, f *frame) error {
-	buf := *bufp
-	if cap(buf) < prefixRoom {
-		buf = make([]byte, prefixRoom, 1024)
+// frameLimit is the size bound for one frame of the given kind: requests
+// are capped tight (a hostile client must not force big server
+// allocations), responses loose (bulk FetchDataResp payloads from a
+// server the caller chose to trust).
+func frameLimit(kind byte) int {
+	if kind == kindResponse {
+		return MaxRespFrame
 	}
-	buf = buf[:prefixRoom]
-	buf, err := appendFrame(buf, f)
-	if err != nil {
-		*bufp = buf[:0]
-		return fmt.Errorf("%w: %w", errEncode, err)
-	}
-	payload := len(buf) - prefixRoom
-	if payload > MaxFrame {
-		*bufp = buf[:0]
-		return fmt.Errorf("%w: frame of %d bytes exceeds MaxFrame", errEncode, payload)
-	}
-	var pfx [prefixRoom]byte
-	n := binary.PutUvarint(pfx[:], uint64(payload))
-	start := prefixRoom - n
-	copy(buf[start:prefixRoom], pfx[:n])
-	_, werr := w.Write(buf[start:])
-	*bufp = buf[:0]
-	return werr
+	return MaxFrame
 }
+
+// maxQueuedWrite bounds the bytes parked in a groupWriter behind an
+// in-flight flush. Writers beyond it block (backpressure) instead of
+// growing the queue, so a remote that stops reading pins at most
+// maxQueuedWrite plus one maximum frame of memory per connection rather
+// than an unbounded backlog.
+const maxQueuedWrite = 8 << 20
 
 // groupWriter coalesces concurrent frame writes on one connection into
 // few large socket writes (group commit): the first writer becomes the
@@ -90,20 +86,30 @@ type groupWriter struct {
 	conn net.Conn
 
 	mu       sync.Mutex
-	queued   []byte // frames waiting for the next flush
-	spare    []byte // recycled flush buffer (double-buffer swap)
-	scratch  []byte // per-append encode buffer
+	cond     *sync.Cond // signals a flush completing or the writer dying
+	queued   []byte     // frames waiting for the next flush
+	spare    []byte     // recycled flush buffer (double-buffer swap)
+	scratch  []byte     // per-append encode buffer
 	flushing bool
 	err      error // sticky socket write error
 }
 
 // writeFrame encodes f, queues it, and either returns immediately (an
 // active flusher will carry it out) or becomes the flusher and drains
-// the queue. Encoding failures are reported as errEncode without
-// touching the wire; socket failures are sticky and poison the
-// connection. timeout > 0 arms a write deadline per flush.
+// the queue. Writers block while the queue is over maxQueuedWrite, so
+// a stalled remote exerts backpressure instead of growing the heap.
+// Encoding failures are reported as errEncode without touching the
+// wire; socket failures are sticky and poison the connection.
+// timeout > 0 arms a write deadline per flush, bounding how long a
+// stalled remote can wedge the flusher (and everyone queued behind it).
 func (g *groupWriter) writeFrame(f *frame, timeout time.Duration) error {
 	g.mu.Lock()
+	if g.cond == nil {
+		g.cond = sync.NewCond(&g.mu)
+	}
+	for g.err == nil && g.flushing && len(g.queued) >= maxQueuedWrite {
+		g.cond.Wait()
+	}
 	if g.err != nil {
 		err := g.err
 		g.mu.Unlock()
@@ -121,10 +127,10 @@ func (g *groupWriter) writeFrame(f *frame, timeout time.Duration) error {
 		return fmt.Errorf("%w: %w", errEncode, err)
 	}
 	payload := len(scratch) - prefixRoom
-	if payload > MaxFrame {
+	if limit := frameLimit(f.kind); payload > limit {
 		g.scratch = scratch[:0]
 		g.mu.Unlock()
-		return fmt.Errorf("%w: frame of %d bytes exceeds MaxFrame", errEncode, payload)
+		return fmt.Errorf("%w: frame of %d bytes exceeds limit %d", errEncode, payload, limit)
 	}
 	var pfx [prefixRoom]byte
 	n := binary.PutUvarint(pfx[:], uint64(payload))
@@ -151,8 +157,10 @@ func (g *groupWriter) writeFrame(f *frame, timeout time.Duration) error {
 		if werr != nil {
 			g.err = werr
 		}
+		g.cond.Broadcast()
 	}
 	g.flushing = false
+	g.cond.Broadcast()
 	err = g.err
 	g.mu.Unlock()
 	return err
@@ -179,16 +187,17 @@ func readUvarint(br *bufio.Reader) (uint64, int, error) {
 }
 
 // readFramePayload reads one length-prefixed frame payload into *rbuf
-// (grown once, reused across frames). consumed counts bytes read before
-// any error, so a timeout at a frame boundary is distinguishable from a
-// torn frame.
-func readFramePayload(br *bufio.Reader, rbuf *[]byte) (payload []byte, consumed int, err error) {
+// (grown once, reused across frames), rejecting declared lengths above
+// max before allocating. consumed counts bytes read before any error,
+// so a timeout at a frame boundary is distinguishable from a torn
+// frame.
+func readFramePayload(br *bufio.Reader, rbuf *[]byte, max uint64) (payload []byte, consumed int, err error) {
 	length, n, err := readUvarint(br)
 	if err != nil {
 		return nil, n, err
 	}
-	if length > MaxFrame {
-		return nil, n, fmt.Errorf("%w: declared frame length %d exceeds MaxFrame", ErrBadFrame, length)
+	if length > max {
+		return nil, n, fmt.Errorf("%w: declared frame length %d exceeds limit %d", ErrBadFrame, length, max)
 	}
 	buf := *rbuf
 	if uint64(cap(buf)) < length {
@@ -228,11 +237,12 @@ type muxConn struct {
 	conn  net.Conn
 	gw    groupWriter // coalesces concurrent request writes
 
-	pmu     sync.Mutex
-	pending map[uint64]chan muxResult
-	nextID  uint64
-	dead    bool
-	deadErr error
+	pmu      sync.Mutex
+	pending  map[uint64]chan muxResult
+	nextID   uint64
+	deadline time.Time // latest armed read-deadline watchdog (zero = disarmed)
+	dead     bool
+	deadErr  error
 }
 
 func newMuxConn(owner *TCPCaller, addr string, conn net.Conn) *muxConn {
@@ -251,12 +261,6 @@ func (m *muxConn) isDead() bool {
 	m.pmu.Lock()
 	defer m.pmu.Unlock()
 	return m.dead
-}
-
-func (m *muxConn) pendingCount() int {
-	m.pmu.Lock()
-	defer m.pmu.Unlock()
-	return len(m.pending)
 }
 
 // fail marks the connection dead, detaches it from the owner, closes the
@@ -287,19 +291,32 @@ func (m *muxConn) fail(err error) {
 }
 
 // readLoop decodes response frames and hands each to its waiter. A read
-// deadline acts as a watchdog: the writer arms it on every request, and
-// an expiry with calls still in flight kills the connection, while an
-// expiry on an idle connection just disarms the deadline.
+// deadline acts as a watchdog: callers arm (and extend) it per request
+// under pmu, and an expiry with calls still in flight and the newest
+// armed deadline actually elapsed kills the connection. An expiry on an
+// idle connection disarms the deadline; a stale expiry racing a newer
+// call re-arms to that call's deadline instead of failing it.
 func (m *muxConn) readLoop() {
 	br := bufio.NewReaderSize(m.conn, 32<<10)
 	cur := &Cursor{in: &interner{}}
 	var rbuf []byte
 	for {
-		payload, consumed, err := readFramePayload(br, &rbuf)
+		payload, consumed, err := readFramePayload(br, &rbuf, MaxRespFrame)
 		if err != nil {
-			if isTimeout(err) && consumed == 0 && m.pendingCount() == 0 {
-				m.conn.SetReadDeadline(time.Time{})
-				continue
+			if isTimeout(err) && consumed == 0 {
+				m.pmu.Lock()
+				if len(m.pending) == 0 {
+					m.deadline = time.Time{}
+					m.conn.SetReadDeadline(time.Time{})
+					m.pmu.Unlock()
+					continue
+				}
+				if time.Now().Before(m.deadline) {
+					m.conn.SetReadDeadline(m.deadline)
+					m.pmu.Unlock()
+					continue
+				}
+				m.pmu.Unlock()
 			}
 			if errors.Is(err, io.EOF) && consumed == 0 {
 				m.fail(netErrf("transport: %s closed connection", m.addr))
@@ -338,15 +355,21 @@ func (m *muxConn) roundTrip(env envelope, timeout time.Duration) (envelope, erro
 	}
 	m.nextID++
 	id := m.nextID
+	if timeout > 0 {
+		// Arm the reader watchdog before publishing the pending entry,
+		// under the same mutex readLoop consults on expiry — so a stale
+		// deadline from an earlier call can never fail this one, and the
+		// watchdog is never off with a request in flight. Only extended
+		// forward: a short call must not shrink a longer call's cover.
+		if d := time.Now().Add(timeout + readDeadlineGrace); d.After(m.deadline) {
+			m.deadline = d
+			m.conn.SetReadDeadline(d)
+		}
+	}
 	m.pending[id] = ch
 	m.pmu.Unlock()
 
 	f := frame{kind: kindRequest, id: id, tc: env.TC, body: env.Body}
-	if timeout > 0 {
-		// Arm the reader watchdog: if nothing arrives for a whole call
-		// timeout (plus grace), the connection is wedged, not slow.
-		m.conn.SetReadDeadline(time.Now().Add(timeout + readDeadlineGrace))
-	}
 	err := m.gw.writeFrame(&f, timeout)
 	if err != nil {
 		m.pmu.Lock()
@@ -406,8 +429,16 @@ func (c *TCPCaller) mux(addr string) (m *muxConn, fallback bool, err error) {
 	}
 	var ack [5]byte
 	if _, rerr := io.ReadFull(conn, ack[:]); rerr != nil || ack != binaryMagic {
-		// The remote dropped or garbled the hello: a legacy gob server.
 		conn.Close()
+		if rerr != nil && isTimeout(rerr) {
+			// A deadline expiry is a slow or wedged peer, not evidence of
+			// a gob-only one: fail the call and leave negotiation open so
+			// a binary-capable peer is not latched onto gob by one hiccup.
+			return nil, false, netErrf("transport: hello ack from %s: %w", addr, rerr)
+		}
+		// The remote read our hello and dropped (or garbled) the
+		// connection: that is what a binary hello looks like to a legacy
+		// gob decoder. Fall back for this address.
 		return nil, true, nil
 	}
 	conn.SetDeadline(time.Time{})
@@ -475,12 +506,16 @@ func (s *TCPServer) serveBinary(conn net.Conn, br *bufio.Reader) {
 		if herr != nil {
 			out.err = herr.Error()
 		}
-		if werr := gw.writeFrame(&out, 0); errors.Is(werr, errEncode) {
+		// The write deadline bounds how long a client that stopped
+		// reading can wedge the flusher; with the groupWriter's bounded
+		// queue it caps both the goroutines and the memory one stalled
+		// connection can pin before being torn down.
+		if werr := gw.writeFrame(&out, respWriteTimeout); errors.Is(werr, errEncode) {
 			// Encoding failed (e.g. an unregistered aux type hit a gob
 			// error): still answer, as an error frame, so the caller is
 			// not left waiting for a correlation id that never comes.
 			ef := frame{kind: kindResponse, id: t.id, err: werr.Error()}
-			gw.writeFrame(&ef, 0)
+			gw.writeFrame(&ef, respWriteTimeout)
 		}
 	}
 	defer wg.Wait()
@@ -488,7 +523,7 @@ func (s *TCPServer) serveBinary(conn net.Conn, br *bufio.Reader) {
 	cur := &Cursor{in: &interner{}}
 	var rbuf []byte
 	for {
-		payload, _, err := readFramePayload(br, &rbuf)
+		payload, _, err := readFramePayload(br, &rbuf, MaxFrame)
 		if err != nil {
 			return
 		}

@@ -19,16 +19,20 @@ import (
 // --- codec round trips and fuzzing ---
 
 // sampleFrames builds a deterministic corpus: every registered codec's
-// zero-value prototype plus frames exercising each optional field (trace
-// context, error string, spans, gob-blob body, nil body).
+// zero-value prototype in each frame direction its tag is valid for,
+// plus frames exercising each optional field (trace context, error
+// string, spans, gob-blob body, nil body).
 func sampleFrames(t testing.TB) [][]byte {
 	var frames []frame
-	for typ := range codecByType {
+	for typ, tag := range codecByType {
 		body := reflect.New(typ).Elem().Interface()
-		frames = append(frames,
-			frame{kind: kindRequest, id: 1, body: body},
-			frame{kind: kindResponse, id: 2, body: body},
-		)
+		dir := codecByTag[tag].dir
+		if dir&DirRequest != 0 {
+			frames = append(frames, frame{kind: kindRequest, id: 1, body: body})
+		}
+		if dir&DirResponse != 0 {
+			frames = append(frames, frame{kind: kindResponse, id: 2, body: body})
+		}
 	}
 	frames = append(frames,
 		frame{kind: kindRequest, id: 7}, // nil body
@@ -122,22 +126,111 @@ func TestReadFramePayloadGuards(t *testing.T) {
 	var rbuf []byte
 
 	oversized := binary.AppendUvarint(nil, uint64(MaxFrame)+1)
-	if _, _, err := readFramePayload(bufio.NewReader(bytes.NewReader(oversized)), &rbuf); !errors.Is(err, ErrBadFrame) {
+	if _, _, err := readFramePayload(bufio.NewReader(bytes.NewReader(oversized)), &rbuf, MaxFrame); !errors.Is(err, ErrBadFrame) {
 		t.Errorf("oversized length prefix: err = %v, want ErrBadFrame", err)
 	}
 
 	overlong := bytes.Repeat([]byte{0x80}, binary.MaxVarintLen64+1)
-	if _, _, err := readFramePayload(bufio.NewReader(bytes.NewReader(overlong)), &rbuf); !errors.Is(err, ErrBadFrame) {
+	if _, _, err := readFramePayload(bufio.NewReader(bytes.NewReader(overlong)), &rbuf, MaxFrame); !errors.Is(err, ErrBadFrame) {
 		t.Errorf("overlong uvarint: err = %v, want ErrBadFrame", err)
 	}
 
 	torn := append(binary.AppendUvarint(nil, 100), make([]byte, 10)...)
-	_, consumed, err := readFramePayload(bufio.NewReader(bytes.NewReader(torn)), &rbuf)
+	_, consumed, err := readFramePayload(bufio.NewReader(bytes.NewReader(torn)), &rbuf, MaxFrame)
 	if err == nil {
 		t.Fatal("torn frame parsed")
 	}
 	if consumed != len(torn) {
 		t.Errorf("torn frame consumed %d bytes, want %d", consumed, len(torn))
+	}
+}
+
+// TestPreallocHintClampsHostileCounts pins the allocation defense for
+// wire-declared element counts: a count inside the payload-length guard
+// can still be millions (one byte per element minimum), so decoders must
+// start small and let append grow.
+func TestPreallocHintClampsHostileCounts(t *testing.T) {
+	if got := PreallocHint(3); got != 3 {
+		t.Errorf("PreallocHint(3) = %d, want 3", got)
+	}
+	if got := PreallocHint(16 << 20); got != preallocLimit {
+		t.Errorf("PreallocHint(16M) = %d, want %d", got, preallocLimit)
+	}
+}
+
+// TestFrameRejectsWrongDirectionTag checks that a tag registered for one
+// frame direction does not decode in the other: a hostile client must
+// not be able to drive a server through response decoders.
+func TestFrameRejectsWrongDirectionTag(t *testing.T) {
+	cases := []frame{
+		{kind: kindRequest, id: 1, body: RefsResp{Refs: nil}}, // response tag in a request
+		{kind: kindResponse, id: 2, body: FindSuccessorReq{}}, // request tag in a response
+	}
+	for i := range cases {
+		payload, err := appendFrame(nil, &cases[i])
+		if err != nil {
+			t.Fatalf("case %d failed to encode: %v", i, err)
+		}
+		if _, err := parseFrame(NewCursor(payload)); !errors.Is(err, ErrBadFrame) {
+			t.Errorf("case %d: wrong-direction tag parsed with err = %v, want ErrBadFrame", i, err)
+		}
+	}
+}
+
+// TestLargeResponseRidesBinaryPath pins the asymmetric frame limit: a
+// response far beyond MaxFrame (the request cap) must still cross the
+// multiplexed binary connection, because bulk payloads like
+// FetchDataResp rode the gob path without any size limit before the
+// binary codec existed.
+func TestLargeResponseRidesBinaryPath(t *testing.T) {
+	big := string(bytes.Repeat([]byte{'x'}, MaxFrame+(1<<20)))
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := ServeTCP(ln, func(req any) (any, error) {
+		return echoResp{Msg: big}, nil
+	})
+	defer srv.Close()
+	caller := NewTCPCaller()
+	caller.CallTimeout = 30 * time.Second
+	defer caller.Close()
+	resp, err := caller.Call(srv.Addr(), echoReq{Msg: "gimme"})
+	if err != nil {
+		t.Fatalf("oversized response failed: %v", err)
+	}
+	if got := resp.(echoResp).Msg; len(got) != len(big) {
+		t.Errorf("response truncated: got %d bytes, want %d", len(got), len(big))
+	}
+	caller.mu.Lock()
+	nmux := len(caller.muxes)
+	caller.mu.Unlock()
+	if nmux != 1 {
+		t.Errorf("large response used %d mux connections, want 1 (no gob fallback)", nmux)
+	}
+}
+
+// TestGroupWriterFlushDeadline wedges a groupWriter against a pipe
+// nobody reads: the armed write deadline must fail the flush (and poison
+// the writer) instead of blocking in Write forever.
+func TestGroupWriterFlushDeadline(t *testing.T) {
+	client, server := net.Pipe()
+	defer server.Close()
+	defer client.Close()
+	gw := &groupWriter{conn: client}
+	f := frame{kind: kindResponse, id: 1, body: echoResp{Msg: "stuck"}}
+	errc := make(chan error, 1)
+	go func() { errc <- gw.writeFrame(&f, 50*time.Millisecond) }()
+	select {
+	case err := <-errc:
+		if err == nil || !isTimeout(err) {
+			t.Errorf("wedged flush returned %v, want a timeout", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("flush did not return after its write deadline")
+	}
+	if err := gw.writeFrame(&f, 50*time.Millisecond); err == nil {
+		t.Error("writer not poisoned after a failed flush")
 	}
 }
 
@@ -206,7 +299,7 @@ func TestBinaryFallsBackToLegacyGobServer(t *testing.T) {
 		}
 	}
 	caller.mu.Lock()
-	fellBack := caller.gobAddrs[addr]
+	_, fellBack := caller.gobAddrs[addr]
 	nmux := len(caller.muxes)
 	caller.mu.Unlock()
 	if !fellBack {
@@ -214,6 +307,89 @@ func TestBinaryFallsBackToLegacyGobServer(t *testing.T) {
 	}
 	if nmux != 0 {
 		t.Errorf("%d mux connections live after fallback, want 0", nmux)
+	}
+}
+
+// TestHandshakeTimeoutDoesNotLatchGob hits a server that accepts but
+// never answers the hello: the call must fail with an error — a wedged
+// peer is not evidence of a gob-only one — and the address must NOT be
+// latched onto the gob fallback, so a binary-capable peer recovering
+// from a hiccup keeps multiplexing.
+func TestHandshakeTimeoutDoesNotLatchGob(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	var held []net.Conn
+	var hmu sync.Mutex
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			hmu.Lock()
+			held = append(held, conn) // accept, read nothing, answer nothing
+			hmu.Unlock()
+		}
+	}()
+	defer func() {
+		hmu.Lock()
+		for _, c := range held {
+			c.Close()
+		}
+		hmu.Unlock()
+	}()
+
+	caller := NewTCPCaller()
+	caller.DialTimeout = 100 * time.Millisecond
+	defer caller.Close()
+	addr := ln.Addr().String()
+	if _, err := caller.Call(addr, echoReq{Msg: "hello?"}); err == nil {
+		t.Fatal("call against a mute server succeeded")
+	}
+	caller.mu.Lock()
+	_, latched := caller.gobAddrs[addr]
+	caller.mu.Unlock()
+	if latched {
+		t.Error("handshake timeout latched the address onto gob")
+	}
+}
+
+// TestGobLatchAgesOut pre-latches an address as gob with a stamp older
+// than gobReprobeAfter, then calls a binary-capable server: the caller
+// must re-probe, succeed over the multiplexed path, and drop the latch.
+func TestGobLatchAgesOut(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := ServeTCP(ln, echoHandler)
+	defer srv.Close()
+	caller := NewTCPCaller()
+	defer caller.Close()
+	addr := srv.Addr()
+	caller.mu.Lock()
+	caller.gobAddrs[addr] = time.Now().Add(-gobReprobeAfter - time.Minute)
+	caller.mu.Unlock()
+
+	resp, err := caller.Call(addr, echoReq{Msg: "again"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.(echoResp).Msg != "again" {
+		t.Errorf("resp = %v", resp)
+	}
+	caller.mu.Lock()
+	_, stillLatched := caller.gobAddrs[addr]
+	nmux := len(caller.muxes)
+	caller.mu.Unlock()
+	if stillLatched {
+		t.Error("expired gob latch survived a successful binary re-probe")
+	}
+	if nmux != 1 {
+		t.Errorf("re-probe used %d mux connections, want 1", nmux)
 	}
 }
 

@@ -179,9 +179,16 @@ type TCPCaller struct {
 	mu       sync.Mutex
 	pools    map[string]chan *tcpConn
 	muxes    map[string]*muxConn
-	gobAddrs map[string]bool // addresses that negotiated down to gob
+	gobAddrs map[string]time.Time // when each address negotiated down to gob
 	closed   bool
 }
+
+// gobReprobeAfter ages out a per-address gob latch. A peer that once
+// looked gob-only (e.g. it restarted mid-handshake) gets re-probed for
+// the binary protocol after this long, so a transient misclassification
+// costs minutes of fallback, not the caller's lifetime; a genuine
+// legacy peer just re-latches at one extra dial per interval.
+const gobReprobeAfter = 5 * time.Minute
 
 // tcpConn is one pooled connection slot. A slot is owned exclusively by
 // the goroutine that received it from the pool channel, so no lock is
@@ -200,7 +207,7 @@ func NewTCPCaller() *TCPCaller {
 		PoolSize:    DefaultPoolSize,
 		pools:       make(map[string]chan *tcpConn),
 		muxes:       make(map[string]*muxConn),
-		gobAddrs:    make(map[string]bool),
+		gobAddrs:    make(map[string]time.Time),
 	}
 }
 
@@ -263,7 +270,11 @@ func (c *TCPCaller) roundTrip(addr string, env envelope) (envelope, error) {
 	metCalls.Inc()
 	if c.Codec != CodecGob {
 		c.mu.Lock()
-		viaGob := c.gobAddrs[addr]
+		latched, viaGob := c.gobAddrs[addr]
+		if viaGob && time.Since(latched) > gobReprobeAfter {
+			delete(c.gobAddrs, addr) // latch aged out: re-probe binary
+			viaGob = false
+		}
 		c.mu.Unlock()
 		if !viaGob {
 			m, fallback, err := c.mux(addr)
@@ -275,9 +286,9 @@ func (c *TCPCaller) roundTrip(addr string, env envelope) (envelope, error) {
 			}
 			c.mu.Lock()
 			if c.gobAddrs == nil {
-				c.gobAddrs = make(map[string]bool)
+				c.gobAddrs = make(map[string]time.Time)
 			}
-			c.gobAddrs[addr] = true
+			c.gobAddrs[addr] = time.Now()
 			c.mu.Unlock()
 		}
 	}
