@@ -9,10 +9,10 @@ test:
 	$(GO) test ./...
 
 # check is the pre-merge gate: formatting, static analysis, doc links,
-# doc flag tables, the allocation guards, the wire-codec fuzz seed
-# corpora, a quick race pass over the replica subsystem (the most
-# concurrent code in the repo), then the full suite under the race
-# detector.
+# doc flag tables, the allocation guards, the wire-codec and WAL-record
+# fuzz seed corpora, a quick race pass over the replica subsystem and
+# the crash-recovery suite (the most concurrent code in the repo), then
+# the full suite under the race detector.
 check:
 	@unformatted=$$(gofmt -l .); \
 	if [ -n "$$unformatted" ]; then \
@@ -22,8 +22,8 @@ check:
 	$(MAKE) linkcheck
 	$(MAKE) flagcheck
 	$(MAKE) benchguard
-	$(GO) test -run 'Fuzz' ./internal/transport ./internal/peer
-	$(GO) test -race -run 'TestReplica' ./internal/replica ./internal/sim ./internal/store
+	$(GO) test -run 'Fuzz' ./internal/transport ./internal/peer ./internal/wal
+	$(GO) test -race -run 'TestReplica|TestRecover' ./internal/replica ./internal/sim ./internal/store ./internal/wal
 	$(GO) test -race ./...
 
 # linkcheck verifies every relative link in the repo's markdown files.

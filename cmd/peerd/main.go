@@ -9,6 +9,14 @@
 // material). The daemon prints its chord identity and periodic status
 // lines, and exits cleanly on SIGINT/SIGTERM with a graceful leave.
 //
+// With -data-dir the partition store is durable: every mutation is
+// journaled to a write-ahead log in that directory, fsynced before the
+// write is acknowledged (-fsync always, the default), folded into
+// immutable segment files as it grows (-compact-every), and replayed on
+// the next start with the same directory — a killed peer rejoins with
+// the descriptors it held instead of an empty store. See
+// docs/DURABILITY.md for the on-disk format and operator runbook.
+//
 // With -debug-addr the daemon also serves an HTTP debug endpoint:
 // /debug/vars (expvar JSON including the full p2prange metrics snapshot —
 // route.*, sig.*, chord.*, peer.*, transport.* families), /debug/pprof
@@ -70,6 +78,10 @@ func main() {
 		hotReplicas  = flag.Int("hot-replicas", 0, "replica-set size for hot buckets, owner included (0: 2*(replicas+1))")
 		hotThreshold = flag.Uint64("hot-threshold", 0, "decayed probe count promoting a bucket to the hot set (0: default 64)")
 		repairEvery  = flag.Duration("repair-every", 0, "anti-entropy repair interval (0: chord maintenance default)")
+
+		dataDir      = flag.String("data-dir", "", "durable store directory: WAL + segments, replayed on restart (empty: memory-only)")
+		fsync        = flag.String("fsync", "always", "durability barrier with -data-dir: always (fsync before ack) | off (page cache)")
+		compactEvery = flag.Int("compact-every", 0, "fold WAL into a segment after this many records (0: default 4096; <0 disables)")
 	)
 	var publishes publishFlags
 	flag.Var(&publishes, "publish",
@@ -99,6 +111,9 @@ func main() {
 		LoadAware:        *loadAware,
 		HotReplicas:      *hotReplicas,
 		HotThreshold:     *hotThreshold,
+		DataDir:          *dataDir,
+		Fsync:            *fsync,
+		CompactEvery:     *compactEvery,
 	}
 	cfg.Stabilize.RepairEvery = *repairEvery
 	if *drop > 0 {
@@ -109,6 +124,12 @@ func main() {
 		log.Fatalf("peerd: %v", err)
 	}
 	log.Printf("peerd: serving as %s", lp.Ref())
+	if *dataDir != "" {
+		rec := lp.Recovery()
+		log.Printf("peerd: recovered %s: %d from segment %d, %d replayed from %d wal file(s) in %s (torn tail: %v)",
+			*dataDir, rec.SegmentRecords, rec.SegmentSeq, rec.Replayed, rec.WALFiles,
+			rec.Elapsed.Round(time.Microsecond), rec.TornTail)
+	}
 	if *debugAddr != "" {
 		startDebugServer(*debugAddr, lp)
 	}

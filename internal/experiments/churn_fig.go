@@ -2,6 +2,8 @@ package experiments
 
 import (
 	"fmt"
+	"os"
+	"time"
 
 	"p2prange/internal/sim"
 )
@@ -16,11 +18,20 @@ func init() {
 // switched on and off. The paper evaluates static rings only; this
 // ablation quantifies what fault tolerance buys once the churn its
 // deployment setting implies (Section 6) is simulated.
+//
+// The restart rows extend the ablation with durability: one peer is
+// crashed and restarted with the same identity, either cold (its store
+// gone, the pre-durability behavior) or with a write-ahead log replayed
+// from disk. Recovered counts descriptors back before rejoining the
+// ring; backfilled ones had to be resupplied by arc reclaim and
+// anti-entropy; lost ones are gone. The recovery column is WAL replay
+// latency.
 func ChurnResilience(p Params) (*Table, error) {
 	t := &Table{
-		ID:      "churn",
-		Title:   "Lookup availability under churn: fault tolerance on vs off",
-		Columns: []string{"peers", "crashes", "drop%", "mode", "success%", "retries", "reroutes", "injected"},
+		ID:    "churn",
+		Title: "Lookup availability under churn: fault tolerance on vs off",
+		Columns: []string{"peers", "crashes", "drop%", "mode", "success%", "retries", "reroutes", "injected",
+			"held", "recovered", "backfilled", "lost", "recovery"},
 	}
 	n := p.ClusterN
 	if n < 16 {
@@ -36,7 +47,8 @@ func ChurnResilience(p Params) (*Table, error) {
 		Drop:    0.02,
 		Seed:    p.Seed,
 	}
-	t.Notes = fmt.Sprintf("%d lookups, %d-peer ring, crashes spread across the run, identical seeds per mode", lookups, n)
+	t.Notes = fmt.Sprintf("%d lookups, %d-peer ring, crashes spread across the run, identical seeds per mode; "+
+		"restart rows: %d descriptors published, 1 peer crashed and restarted (cold vs WAL replay)", lookups, n, lookups)
 	for _, ft := range []bool{true, false} {
 		cfg.FaultTolerance = ft
 		res, err := sim.RunChurn(cfg)
@@ -56,6 +68,45 @@ func ChurnResilience(p Params) (*Table, error) {
 			fmt.Sprintf("%d", res.Stats.Retries),
 			fmt.Sprintf("%d", res.Stats.Rerouted),
 			fmt.Sprintf("%d", res.Injected),
+			"-", "-", "-", "-", "-",
+		)
+	}
+	for _, durable := range []bool{false, true} {
+		rcfg := sim.RestartConfig{
+			N:          n,
+			Partitions: lookups,
+			Durable:    durable,
+			Seed:       p.Seed,
+		}
+		mode := "restart-cold"
+		if durable {
+			mode = "restart+wal"
+			dir, err := os.MkdirTemp("", "p2prange-restart-")
+			if err != nil {
+				return nil, err
+			}
+			defer os.RemoveAll(dir)
+			rcfg.Dir = dir
+		}
+		res, err := sim.RunRestart(rcfg)
+		if err != nil {
+			return nil, err
+		}
+		recovery := "-"
+		if durable {
+			recovery = res.Recovery.Elapsed.Round(10 * time.Microsecond).String()
+		}
+		t.AddRow(
+			fmt.Sprintf("%d", n),
+			"1",
+			"0",
+			mode,
+			"-", "-", "-", "-",
+			fmt.Sprintf("%d", res.Held),
+			fmt.Sprintf("%d", res.Recovered),
+			fmt.Sprintf("%d", res.Backfilled),
+			fmt.Sprintf("%d", res.Lost),
+			recovery,
 		)
 	}
 	return t, nil

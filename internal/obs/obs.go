@@ -38,6 +38,32 @@ type NodeStatus struct {
 	// Metrics is the peer's process-local registry snapshot. Empty for
 	// simulated peers, which share one process-wide registry.
 	Metrics metrics.Snapshot `json:"metrics,omitempty"`
+	// Durable describes the peer's write-ahead log, when one is attached
+	// (peerd -data-dir). Nil for memory-only peers.
+	Durable *DurableStatus `json:"durable,omitempty"`
+}
+
+// DurableStatus mirrors the peer's WAL state (wal.Stats) on /status:
+// where the data lives, how far the log has advanced, and whether the
+// disk is healthy. Field meanings match docs/DURABILITY.md.
+type DurableStatus struct {
+	// Dir is the peer's data directory.
+	Dir string `json:"dir"`
+	// Fsync is the commit barrier mode ("always" or "off").
+	Fsync string `json:"fsync"`
+	// ActiveSeq is the sequence number of the WAL file being appended.
+	ActiveSeq uint64 `json:"active_seq"`
+	// SegmentSeq is the newest sealed segment (0 = none yet).
+	SegmentSeq uint64 `json:"segment_seq"`
+	// Appended and Durable count journaled records and how many of them
+	// have reached disk; equal whenever the peer is idle.
+	Appended uint64 `json:"appended"`
+	Durable  uint64 `json:"durable"`
+	// SinceFold counts WAL records not yet folded into a segment — the
+	// replay debt a restart right now would pay.
+	SinceFold int `json:"since_fold"`
+	// Err carries a latched IO or compaction failure; empty is healthy.
+	Err string `json:"err,omitempty"`
 }
 
 // ClusterView is the aggregated state of a whole cluster at one instant.

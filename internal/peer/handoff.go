@@ -33,15 +33,28 @@ func init() {
 	transport.RegisterType(TransferArcResp{})
 }
 
-// handleHandoff absorbs pushed buckets.
+// handleHandoff absorbs pushed buckets. The OK ack tells the departing
+// peer it may forget the data, so the absorbed copies must be durable
+// first.
 func (p *Peer) handleHandoff(r HandoffReq) (any, error) {
 	p.store.Absorb(r.Buckets)
+	if err := p.commitDurable(); err != nil {
+		return nil, fmt.Errorf("peer: handoff not durable: %w", err)
+	}
 	return transport.OKResp{}, nil
 }
 
-// handleTransferArc extracts and returns the requested arc.
+// handleTransferArc extracts and returns the requested arc. The arc
+// drop is committed before the buckets leave: once the response is out,
+// the requester owns the data, and a crash here must not resurrect it.
+// If the commit fails the arc is put back and the transfer refused.
 func (p *Peer) handleTransferArc(r TransferArcReq) (any, error) {
-	return TransferArcResp{Buckets: p.store.ExtractArc(r.From, r.To)}, nil
+	buckets := p.store.ExtractArc(r.From, r.To)
+	if err := p.commitDurable(); err != nil {
+		p.store.Absorb(buckets)
+		return nil, fmt.Errorf("peer: arc transfer not durable: %w", err)
+	}
+	return TransferArcResp{Buckets: buckets}, nil
 }
 
 // HandoffTo pushes every bucket this peer holds to the given peer;
@@ -54,8 +67,12 @@ func (p *Peer) HandoffTo(to chord.Ref) error {
 	if _, err := p.call(to, HandoffReq{Buckets: all}); err != nil {
 		// Put the buckets back so data is not lost on a failed handoff.
 		p.store.Absorb(all)
+		p.commitDurable()
 		return fmt.Errorf("peer: handoff to %s: %w", to, err)
 	}
+	// Persist the local drop so a post-handoff crash does not resurrect
+	// buckets the successor now owns (harmless duplicates, but noisy).
+	p.commitDurable()
 	return nil
 }
 
@@ -80,5 +97,10 @@ func (p *Peer) ReclaimArc() error {
 		return transport.BadRequest(resp)
 	}
 	p.store.Absorb(ta.Buckets)
+	// The successor already dropped its copy when it answered, so this
+	// peer is now the only holder: commit before treating them as owned.
+	if err := p.commitDurable(); err != nil {
+		return fmt.Errorf("peer: reclaim not durable: %w", err)
+	}
 	return nil
 }

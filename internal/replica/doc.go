@@ -32,6 +32,14 @@
 //     live deployments (MaintainerConfig.Repair); simulations call
 //     Manager.Sync between query batches.
 //
+// Repair composes with the durable store (internal/wal): a peer that
+// restarts with a data directory replays its descriptors with version
+// and origin stamps intact, so the digest exchange sees them as current
+// and backfills only what changed while the peer was down — replay
+// restores the peer's view, anti-entropy reconciles it. A cold restart
+// (no journal) is the degenerate case where repair must resupply
+// everything, measured as the restart rows of the churn experiment.
+//
 // The Manager is transport-agnostic: the peer layer supplies the
 // successor list, the ownership predicate, and push/call closures, so
 // this package depends only on chord refs and the store. Counters land

@@ -22,4 +22,14 @@
 // degradation). The peer index (Sec. 5.3) searches every bucket a peer
 // owns rather than only the requested one, trading per-lookup work for
 // recall.
+//
+// The store is also the write-through point for durability: SetJournal
+// attaches a Journal (implemented by internal/wal) that is called under
+// the store's write lock on every admission, upgrade, deletion,
+// eviction, and arc extraction — so journal order always equals apply
+// order, and boot-time replay (wal.StoreRestorer) reconstructs the
+// store exactly. Evictions are journaled with the exact victim before
+// the displacing insert, so replay on a bounded store never re-runs the
+// LRU choice. Journal appends only buffer; the fsync barrier lives in
+// the peer's acknowledgement path (see docs/DURABILITY.md).
 package store

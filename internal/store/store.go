@@ -84,6 +84,21 @@ type Match struct {
 	Score     float64
 }
 
+// Journal receives every mutation of a store, in apply order, for
+// write-through persistence (internal/wal implements it). Methods are
+// invoked under the store's write lock, so implementations must only
+// buffer — never block on IO — and must not call back into the store.
+// Durability is a separate barrier (wal.Log.Commit), taken by callers
+// on acknowledgment paths.
+type Journal interface {
+	// Put records a descriptor admission or in-place version upgrade.
+	Put(id ID, p Partition)
+	// Evict records a descriptor removal (capacity eviction or Delete).
+	Evict(id ID, key string)
+	// DropArc records ExtractArc removing every bucket on (from, to].
+	DropArc(from, to ID)
+}
+
 // Store holds the buckets owned by one peer. Safe for concurrent use.
 // With a positive capacity, the store evicts its least-recently-matched
 // descriptor to admit a new one (the paper assumes unbounded caches; the
@@ -93,6 +108,7 @@ type Store struct {
 	buckets map[ID][]Partition
 	count   int // total stored descriptors across buckets
 	cap     int // 0 = unbounded
+	journal Journal
 
 	// Recency tracking, maintained only on bounded stores: an intrusive
 	// LRU list (most-recently-matched at the front) plus an index from
@@ -123,6 +139,15 @@ func NewBounded(capacity int) *Store {
 	return s
 }
 
+// SetJournal attaches (or, with nil, detaches) the store's write-ahead
+// journal. Attach it only after any recovery replay has finished, or
+// replayed mutations would be re-journaled.
+func (s *Store) SetJournal(j Journal) {
+	s.mu.Lock()
+	s.journal = j
+	s.mu.Unlock()
+}
+
 // entryKey identifies one descriptor within one bucket for LRU tracking.
 func entryKey(id ID, p Partition) string {
 	return fmt.Sprintf("%08x/%s", id, p.Key())
@@ -148,6 +173,9 @@ func (s *Store) Put(id ID, p Partition) bool {
 				// refresh its recency so a freshly repaired hot replica is
 				// not the next eviction victim.
 				s.touchLocked(id, p)
+				if s.journal != nil {
+					s.journal.Put(id, p)
+				}
 			}
 			return false
 		}
@@ -158,6 +186,9 @@ func (s *Store) Put(id ID, p Partition) bool {
 	s.buckets[id] = append(s.buckets[id], p)
 	s.touchLocked(id, p)
 	s.count++
+	if s.journal != nil {
+		s.journal.Put(id, p)
+	}
 	return true
 }
 
@@ -203,6 +234,11 @@ func (s *Store) evictLocked() {
 	bucket := s.buckets[e.id]
 	for i, p := range bucket {
 		if entryKey(e.id, p) == e.key {
+			// Journaled before the insert that displaces it, so replay
+			// deletes this exact victim instead of re-running LRU choice.
+			if s.journal != nil {
+				s.journal.Evict(e.id, p.Key())
+			}
 			bucket = append(bucket[:i], bucket[i+1:]...)
 			break
 		}
@@ -213,6 +249,34 @@ func (s *Store) evictLocked() {
 		s.buckets[e.id] = bucket
 	}
 	s.count--
+}
+
+// Delete removes the descriptor with the given Key from bucket id,
+// reporting whether it was present. It is the replay complement of the
+// journal's Evict record, and is safe on descriptors the store no
+// longer holds.
+func (s *Store) Delete(id ID, key string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	bucket := s.buckets[id]
+	for i, p := range bucket {
+		if p.Key() != key {
+			continue
+		}
+		s.dropLocked(id, p)
+		if s.journal != nil {
+			s.journal.Evict(id, key)
+		}
+		bucket = append(bucket[:i], bucket[i+1:]...)
+		if len(bucket) == 0 {
+			delete(s.buckets, id)
+		} else {
+			s.buckets[id] = bucket
+		}
+		s.count--
+		return true
+	}
+	return false
 }
 
 // FindBest scans bucket id for the best match for query q on relation and
@@ -337,6 +401,11 @@ func (s *Store) ExtractArc(from, to ID) map[ID][]Partition {
 				s.dropLocked(id, p)
 			}
 		}
+	}
+	// One arc record covers every removed bucket; an empty extraction
+	// journals nothing.
+	if s.journal != nil && len(out) > 0 {
+		s.journal.DropArc(from, to)
 	}
 	return out
 }

@@ -1,0 +1,249 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"p2prange/internal/store"
+	"p2prange/internal/trace"
+)
+
+// Recovery summarizes what Open found and replayed. Every count is also
+// emitted on the recovery trace span and the wal.* metrics, so a
+// restart is observable end to end.
+type Recovery struct {
+	// SegmentSeq is the sealed segment the boot image started from
+	// (0 = none existed).
+	SegmentSeq uint64 `json:"segment_seq"`
+	// SegmentRecords is the number of descriptors restored from it.
+	SegmentRecords int `json:"segment_records"`
+	// BadSegments counts sealed-looking segments that failed validation
+	// and were skipped (an older segment or the WAL still covered them).
+	BadSegments int `json:"bad_segments,omitempty"`
+	// WALFiles is the number of WAL files replayed on top.
+	WALFiles int `json:"wal_files"`
+	// Replayed is the number of WAL records applied.
+	Replayed int `json:"replayed"`
+	// TornTail reports that replay hit a torn or corrupt record. The
+	// file was truncated at the last valid record, so the next boot
+	// replays cleanly.
+	TornTail bool `json:"torn_tail,omitempty"`
+	// DroppedFiles counts WAL files discarded because they followed a
+	// corrupt record in an earlier file (their ordering guarantee was
+	// gone). Only media corruption — never a plain crash — causes this.
+	DroppedFiles int `json:"dropped_files,omitempty"`
+	// Elapsed is the wall-clock time Open spent scanning and replaying.
+	Elapsed time.Duration `json:"elapsed"`
+}
+
+// StoreRestorer adapts a store into Open's apply callback: puts restore
+// descriptors with their version and origin stamps intact (so
+// anti-entropy later backfills only what is genuinely missing), evicts
+// and arc-drops replay removals. Attach the store's journal only AFTER
+// Open returns, or recovery would re-journal its own replay.
+func StoreRestorer(s *store.Store) func(Record) error {
+	return func(r Record) error {
+		switch r.Op {
+		case OpPut:
+			s.Put(r.ID, r.Part)
+		case OpEvict:
+			s.Delete(r.ID, r.Key)
+		case OpDropArc:
+			s.ExtractArc(r.From, r.To)
+		}
+		return nil
+	}
+}
+
+// Open recovers the durable state in opt.Dir — newest valid segment
+// first, then every WAL file above it, in order, stopping at the first
+// torn record — feeding each surviving record to apply. It then starts
+// a fresh WAL file and returns the live log. The directory is created
+// if missing (an empty one is simply a new peer). Open never returns a
+// log on error; a nil error means the log is ready for write-through.
+//
+// Replay is conservative: a torn tail is truncated in place (the bytes
+// after the last valid record were never acknowledged, by the commit
+// barrier), and WAL files after a mid-stream corruption are deleted
+// rather than replayed out of order — anti-entropy re-fetches anything
+// lost to actual media corruption.
+func Open(opt Options, apply func(Record) error) (*Log, Recovery, error) {
+	start := time.Now()
+	var rec Recovery
+	if opt.Dir == "" {
+		return nil, rec, fmt.Errorf("wal: no data directory")
+	}
+	if err := os.MkdirAll(opt.Dir, 0o755); err != nil {
+		return nil, rec, fmt.Errorf("wal: %w", err)
+	}
+	sp := trace.New("wal.recover")
+	defer sp.End()
+
+	walSeqs, segSeqs, err := scanDir(opt.Dir)
+	if err != nil {
+		return nil, rec, err
+	}
+
+	// Phase 1: newest fully-valid segment wins; bad ones are skipped
+	// (all-or-nothing — a segment either loads completely or not at all).
+	var maxSeq uint64
+	for i := len(segSeqs) - 1; i >= 0; i-- {
+		seq := segSeqs[i]
+		if seq > maxSeq {
+			maxSeq = seq
+		}
+		if rec.SegmentSeq != 0 {
+			continue
+		}
+		puts, err := loadSegment(opt.Dir, seq)
+		if err != nil {
+			rec.BadSegments++
+			sp.Eventf("segment", "skip seg %d: %v", seq, err)
+			continue
+		}
+		for i := range puts {
+			if err := apply(puts[i]); err != nil {
+				return nil, rec, err
+			}
+		}
+		rec.SegmentSeq = seq
+		rec.SegmentRecords = len(puts)
+		sp.Eventf("segment", "restored %d records from seg %d", len(puts), seq)
+	}
+
+	// Phase 2: replay WAL files above the segment, ascending. Files at
+	// or below it were folded in already — stale leftovers, removed.
+	for i := 0; i < len(walSeqs); i++ {
+		seq := walSeqs[i]
+		if seq > maxSeq {
+			maxSeq = seq
+		}
+		if seq <= rec.SegmentSeq {
+			os.Remove(walPath(opt.Dir, seq))
+			continue
+		}
+		path := walPath(opt.Dir, seq)
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, rec, fmt.Errorf("wal: %w", err)
+		}
+		body, herr := parseHeader(data, magicWAL, seq)
+		applied := 0
+		var off int
+		var werr error
+		if herr == nil {
+			off, werr = walkRecords(body, func(r Record) error {
+				if err := apply(r); err != nil {
+					return err
+				}
+				applied++
+				return nil
+			})
+		}
+		rec.WALFiles++
+		rec.Replayed += applied
+		sp.Eventf("replay", "wal %d: %d records", seq, applied)
+		if herr == nil && werr == nil {
+			continue
+		}
+		if werr != nil && !errors.Is(werr, ErrCorrupt) {
+			// apply itself failed — a recovery bug, not disk damage.
+			return nil, rec, werr
+		}
+		// Torn or corrupt record: truncate this file at the last valid
+		// record and drop every later file — records after a tear have
+		// no ordering guarantee. Commit acknowledges only after fsync,
+		// so nothing acknowledged lives past this point in this file.
+		rec.TornTail = true
+		metTornTails.Inc()
+		if herr != nil {
+			sp.Eventf("torn", "wal %d: %v — dropping file", seq, herr)
+			os.Remove(path)
+		} else {
+			sp.Eventf("torn", "wal %d: %v — truncated at %d records", seq, werr, applied)
+			if terr := os.Truncate(path, int64(len(data)-len(body)+off)); terr != nil {
+				return nil, rec, fmt.Errorf("wal: truncate torn tail: %w", terr)
+			}
+		}
+		for _, later := range walSeqs[i+1:] {
+			if later > maxSeq {
+				maxSeq = later
+			}
+			os.Remove(walPath(opt.Dir, later))
+			rec.DroppedFiles++
+		}
+		break
+	}
+	if rec.DroppedFiles > 0 {
+		sp.Eventf("torn", "dropped %d later wal file(s)", rec.DroppedFiles)
+	}
+
+	// Phase 3: start a fresh WAL strictly above everything seen, so a
+	// half-replayed boot can never append into a file it distrusted.
+	if opt.CompactEvery == 0 {
+		opt.CompactEvery = DefaultCompactEvery
+	} else if opt.CompactEvery < 0 {
+		opt.CompactEvery = 0
+	}
+	seq := maxSeq + 1
+	f, err := createFile(walPath(opt.Dir, seq), magicWAL, seq)
+	if err != nil {
+		return nil, rec, err
+	}
+	if err := syncDir(opt.Dir); err != nil {
+		f.Close()
+		return nil, rec, err
+	}
+	l := &Log{
+		dir:          opt.Dir,
+		fsync:        opt.Fsync,
+		compactEvery: opt.CompactEvery,
+		f:            f,
+		seq:          seq,
+		segSeq:       rec.SegmentSeq,
+		sinceFold:    rec.Replayed, // unfolded records carried over; fold soon if many
+	}
+	l.cond = sync.NewCond(&l.mu)
+
+	rec.Elapsed = time.Since(start)
+	metRecovers.Inc()
+	metReplayed.Add(uint64(rec.Replayed))
+	sp.Eventf("open", "active wal %d, %s", seq, rec.Elapsed.Round(time.Microsecond))
+	return l, rec, nil
+}
+
+// scanDir lists WAL and segment sequence numbers in ascending order,
+// deleting stray temp files from an interrupted compaction.
+func scanDir(dir string) (walSeqs, segSeqs []uint64, err error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, fmt.Errorf("wal: %w", err)
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if strings.HasSuffix(name, ".tmp") {
+			os.Remove(filepath.Join(dir, name))
+			continue
+		}
+		var seq uint64
+		switch {
+		case strings.HasPrefix(name, "wal-") && strings.HasSuffix(name, ".log"):
+			if _, err := fmt.Sscanf(name, "wal-%016x.log", &seq); err == nil && seq > 0 {
+				walSeqs = append(walSeqs, seq)
+			}
+		case strings.HasPrefix(name, "seg-") && strings.HasSuffix(name, ".seg"):
+			if _, err := fmt.Sscanf(name, "seg-%016x.seg", &seq); err == nil && seq > 0 {
+				segSeqs = append(segSeqs, seq)
+			}
+		}
+	}
+	sort.Slice(walSeqs, func(i, j int) bool { return walSeqs[i] < walSeqs[j] })
+	sort.Slice(segSeqs, func(i, j int) bool { return segSeqs[i] < segSeqs[j] })
+	return walSeqs, segSeqs, nil
+}

@@ -1,0 +1,321 @@
+package wal
+
+import (
+	"fmt"
+	"os"
+	"strings"
+	"sync"
+	"testing"
+
+	"p2prange/internal/rangeset"
+	"p2prange/internal/store"
+	"p2prange/internal/transport"
+)
+
+func testPart(i int) store.Partition {
+	return store.Partition{
+		Relation:  "R",
+		Attribute: "a",
+		Range:     rangeset.Range{Lo: int64(i), Hi: int64(i + 10)},
+		Holder:    fmt.Sprintf("peer-%d:4000", i),
+		Version:   uint64(i % 4),
+		Origin:    fmt.Sprintf("origin-%d", i%3),
+	}
+}
+
+// openStore opens (or recovers) a durable store in dir.
+func openStore(t *testing.T, dir string, opt Options) (*store.Store, *Log, Recovery) {
+	t.Helper()
+	opt.Dir = dir
+	st := store.New()
+	lg, rec, err := Open(opt, StoreRestorer(st))
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	st.SetJournal(lg)
+	return st, lg, rec
+}
+
+// files lists dir's entries for assertions.
+func files(t *testing.T, dir string) []string {
+	t.Helper()
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("ReadDir: %v", err)
+	}
+	var out []string
+	for _, e := range ents {
+		out = append(out, e.Name())
+	}
+	return out
+}
+
+func TestRecordRoundTrip(t *testing.T) {
+	recs := []Record{
+		{Op: OpPut, ID: 0xdeadbeef, Part: testPart(7)},
+		{Op: OpPut, ID: 0, Part: store.Partition{Relation: "R", Attribute: "a",
+			Range: rangeset.Range{Lo: -50, Hi: 50}}},
+		{Op: OpEvict, ID: 42, Key: testPart(3).Key()},
+		{Op: OpDropArc, From: 0xffffffff, To: 0},
+		{Op: opSeal, Count: 12345},
+	}
+	for _, want := range recs {
+		body := AppendRecord(nil, &want)
+		got, err := ParseRecord(transport.NewCursor(body))
+		if err != nil {
+			t.Fatalf("ParseRecord(op %d): %v", want.Op, err)
+		}
+		if got != want {
+			t.Errorf("round trip op %d: got %+v want %+v", want.Op, got, want)
+		}
+	}
+}
+
+func TestRecordRejectsGarbage(t *testing.T) {
+	if _, err := ParseRecord(transport.NewCursor(nil)); err == nil {
+		t.Error("empty body parsed")
+	}
+	if _, err := ParseRecord(transport.NewCursor([]byte{99})); err == nil {
+		t.Error("unknown op parsed")
+	}
+	// Trailing garbage after a valid body must be rejected.
+	body := AppendRecord(nil, &Record{Op: OpEvict, ID: 1, Key: "k"})
+	if _, err := ParseRecord(transport.NewCursor(append(body, 0))); err == nil {
+		t.Error("trailing byte accepted")
+	}
+	// Truncations of a valid body must error, never panic.
+	body = AppendRecord(nil, &Record{Op: OpPut, ID: 9, Part: testPart(9)})
+	for n := 0; n < len(body); n++ {
+		if _, err := ParseRecord(transport.NewCursor(body[:n])); err == nil {
+			t.Errorf("truncation at %d accepted", n)
+		}
+	}
+}
+
+func TestRecoverEmptyDirIsNewPeer(t *testing.T) {
+	dir := t.TempDir()
+	st, lg, rec := openStore(t, dir, Options{})
+	defer lg.Close()
+	if rec.SegmentSeq != 0 || rec.Replayed != 0 || rec.TornTail {
+		t.Errorf("fresh dir recovery not empty: %+v", rec)
+	}
+	if st.Len() != 0 {
+		t.Errorf("fresh store has %d descriptors", st.Len())
+	}
+}
+
+func TestRecoverRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	st, lg, _ := openStore(t, dir, Options{})
+	for i := 0; i < 50; i++ {
+		st.Put(uint32(i%10), testPart(i))
+	}
+	st.Delete(3, testPart(3).Key())
+	if err := lg.Commit(); err != nil {
+		t.Fatalf("Commit: %v", err)
+	}
+	if err := lg.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	st2, lg2, rec := openStore(t, dir, Options{})
+	defer lg2.Close()
+	// Clean shutdown checkpoints, so recovery comes from a segment.
+	if rec.SegmentSeq == 0 || rec.SegmentRecords != st.Len() {
+		t.Errorf("recovery = %+v, want %d records from a segment", rec, st.Len())
+	}
+	if st2.Len() != st.Len() {
+		t.Fatalf("recovered %d descriptors, want %d", st2.Len(), st.Len())
+	}
+	for i := 0; i < 50; i++ {
+		p := testPart(i)
+		got, ok := st2.Get(uint32(i%10), p.Key())
+		if i == 3 {
+			if ok {
+				t.Errorf("deleted descriptor %d resurrected", i)
+			}
+			continue
+		}
+		if !ok {
+			t.Errorf("descriptor %d missing after recovery", i)
+		} else if got != p {
+			t.Errorf("descriptor %d = %+v, want %+v (version/origin must survive)", i, got, p)
+		}
+	}
+}
+
+func TestRecoverVersionUpgradeSurvives(t *testing.T) {
+	dir := t.TempDir()
+	st, lg, _ := openStore(t, dir, Options{})
+	p := testPart(1)
+	p.Version = 1
+	st.Put(5, p)
+	p.Version = 7
+	p.Holder = "upgraded:4000"
+	st.Put(5, p) // in-place upgrade, journaled
+	lg.Commit()
+	lg.Crash()
+
+	st2, lg2, _ := openStore(t, dir, Options{})
+	defer lg2.Close()
+	got, ok := st2.Get(5, p.Key())
+	if !ok || got.Version != 7 || got.Holder != "upgraded:4000" {
+		t.Errorf("recovered %+v ok=%v, want version 7 at upgraded holder", got, ok)
+	}
+}
+
+func TestRecoverDropArc(t *testing.T) {
+	dir := t.TempDir()
+	st, lg, _ := openStore(t, dir, Options{})
+	for i := 0; i < 20; i++ {
+		st.Put(uint32(i*100), testPart(i))
+	}
+	// Drop the arc (500, 1500]: buckets 600..1500.
+	st.ExtractArc(500, 1500)
+	lg.Commit()
+	lg.Crash()
+
+	st2, lg2, _ := openStore(t, dir, Options{})
+	defer lg2.Close()
+	for i := 0; i < 20; i++ {
+		id := uint32(i * 100)
+		_, ok := st2.Get(id, testPart(i).Key())
+		wantGone := id > 500 && id <= 1500
+		if ok == wantGone {
+			t.Errorf("bucket %d: present=%v after arc drop replay", id, ok)
+		}
+	}
+}
+
+func TestCompactionFoldsAndRetiresFiles(t *testing.T) {
+	dir := t.TempDir()
+	st, lg, _ := openStore(t, dir, Options{CompactEvery: 10})
+	for i := 0; i < 35; i++ {
+		st.Put(uint32(i), testPart(i))
+		if err := lg.Commit(); err != nil {
+			t.Fatalf("Commit %d: %v", i, err)
+		}
+	}
+	stats := lg.Stats()
+	if stats.SegmentSeq == 0 {
+		t.Fatalf("no segment after %d committed puts with CompactEvery=10: %+v\nfiles: %v",
+			35, stats, files(t, dir))
+	}
+	// Folded WAL files must be gone; only the segment and the active WAL
+	// (plus at most the unfolded tail) remain.
+	var walFiles, segFiles int
+	for _, name := range files(t, dir) {
+		switch {
+		case strings.HasSuffix(name, ".log"):
+			walFiles++
+		case strings.HasSuffix(name, ".seg"):
+			segFiles++
+		}
+	}
+	if segFiles != 1 {
+		t.Errorf("%d segment files, want exactly 1", segFiles)
+	}
+	if walFiles > 2 {
+		t.Errorf("%d WAL files left after compaction, want <= 2", walFiles)
+	}
+	lg.Crash() // no checkpoint: recovery must use segment + WAL tail
+
+	st2, lg2, rec := openStore(t, dir, Options{CompactEvery: 10})
+	defer lg2.Close()
+	if st2.Len() != 35 {
+		t.Errorf("recovered %d descriptors, want 35 (recovery %+v)", st2.Len(), rec)
+	}
+	if rec.SegmentSeq == 0 {
+		t.Errorf("recovery ignored the segment: %+v", rec)
+	}
+}
+
+func TestCheckpointMakesRecoverySegmentOnly(t *testing.T) {
+	dir := t.TempDir()
+	st, lg, _ := openStore(t, dir, Options{})
+	for i := 0; i < 12; i++ {
+		st.Put(uint32(i), testPart(i))
+	}
+	lg.Commit()
+	if err := lg.Checkpoint(); err != nil {
+		t.Fatalf("Checkpoint: %v", err)
+	}
+	lg.Crash()
+
+	_, lg2, rec := openStore(t, dir, Options{})
+	defer lg2.Close()
+	if rec.SegmentRecords != 12 || rec.Replayed != 0 {
+		t.Errorf("post-checkpoint recovery = %+v, want 12 segment records, 0 replayed", rec)
+	}
+}
+
+func TestFsyncOffStillRecovers(t *testing.T) {
+	dir := t.TempDir()
+	st, lg, _ := openStore(t, dir, Options{Fsync: FsyncOff})
+	for i := 0; i < 8; i++ {
+		st.Put(1, testPart(i))
+	}
+	if err := lg.Commit(); err != nil {
+		t.Fatalf("Commit: %v", err)
+	}
+	lg.Crash() // process-crash model: pages written, never fsynced
+
+	st2, lg2, _ := openStore(t, dir, Options{Fsync: FsyncOff})
+	defer lg2.Close()
+	if st2.Len() != 8 {
+		t.Errorf("recovered %d, want 8", st2.Len())
+	}
+}
+
+func TestCommitAfterCloseFails(t *testing.T) {
+	dir := t.TempDir()
+	st, lg, _ := openStore(t, dir, Options{})
+	lg.Close()
+	st.Put(1, testPart(1)) // silently unjournaled — store stays usable
+	if err := lg.Commit(); err == nil {
+		t.Error("Commit on closed log succeeded")
+	}
+}
+
+func TestGroupCommitConcurrent(t *testing.T) {
+	dir := t.TempDir()
+	st, lg, _ := openStore(t, dir, Options{})
+	defer lg.Close()
+	const writers, each = 8, 25
+	var wg sync.WaitGroup
+	errs := make(chan error, writers)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				st.Put(uint32(w), testPart(w*each+i))
+				if err := lg.Commit(); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatalf("concurrent Commit: %v", err)
+	}
+	stats := lg.Stats()
+	if stats.Durable != stats.Appended || stats.Appended != writers*each {
+		t.Errorf("stats %+v, want %d appended == durable", stats, writers*each)
+	}
+}
+
+func TestStatsOnStatusFields(t *testing.T) {
+	dir := t.TempDir()
+	st, lg, _ := openStore(t, dir, Options{})
+	defer lg.Close()
+	st.Put(1, testPart(1))
+	lg.Commit()
+	s := lg.Stats()
+	if s.Dir != dir || s.Fsync != "always" || s.ActiveSeq == 0 || s.Err != "" {
+		t.Errorf("Stats = %+v", s)
+	}
+}

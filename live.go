@@ -18,6 +18,7 @@ import (
 	"p2prange/internal/store"
 	"p2prange/internal/trace"
 	"p2prange/internal/transport"
+	"p2prange/internal/wal"
 )
 
 // LiveConfig configures a real TCP peer. All peers of one ring must use
@@ -77,6 +78,27 @@ type LiveConfig struct {
 	// protocol. The server side always answers whichever protocol the
 	// client opens with.
 	Codec string
+	// DataDir, when set, makes the partition store durable: a write-ahead
+	// log in that directory records every mutation, acknowledged writes
+	// are fsynced before the ack, and a restart with the same directory
+	// replays the store before rejoining the ring. Empty keeps the store
+	// memory-only (the paper's model). One live peer per directory.
+	DataDir string
+	// Fsync selects the commit barrier when DataDir is set: "always"
+	// (default — fsync before every acknowledgment, group-committed) or
+	// "off" (OS page cache decides; survives process crashes only).
+	Fsync string
+	// CompactEvery folds the WAL into a segment file after that many
+	// records (default wal.DefaultCompactEvery); negative disables
+	// automatic compaction. Effective only with DataDir.
+	CompactEvery int
+}
+
+func orDefault(s, def string) string {
+	if s == "" {
+		return def
+	}
+	return s
 }
 
 func (c LiveConfig) withDefaults() LiveConfig {
@@ -102,6 +124,8 @@ type LivePeer struct {
 	stats      *metrics.RouteStats
 	fault      *transport.FaultCaller
 	schema     *relation.Schema
+	wal        *wal.Log     // nil when DataDir is unset
+	recovery   wal.Recovery // what boot-time replay found
 
 	coalesce *query.Coalescer // shared singleflight for untraced SQL leaf fetches
 
@@ -167,13 +191,39 @@ func StartPeer(listenAddr, bootstrap string, cfg LiveConfig) (*LivePeer, error) 
 	lp := &LivePeer{
 		peer:     p,
 		caller:   tcp,
-		server:   transport.ServeTCPTraced(ln, p.HandleTraced),
 		stats:    stats,
 		fault:    fault,
 		schema:   cfg.Schema,
 		base:     make(map[string]*relation.Relation),
 		coalesce: query.NewCoalescer(),
 	}
+	if cfg.DataDir != "" {
+		// Recover before serving and before joining: the store must hold
+		// its durable descriptors when the first request or anti-entropy
+		// digest arrives. The journal attaches only after replay, so
+		// recovery does not re-journal itself.
+		mode, err := wal.ParseFsyncMode(orDefault(cfg.Fsync, "always"))
+		if err != nil {
+			ln.Close()
+			lp.caller.Close()
+			return nil, err
+		}
+		lg, rec, err := wal.Open(wal.Options{
+			Dir:          cfg.DataDir,
+			Fsync:        mode,
+			CompactEvery: cfg.CompactEvery,
+		}, wal.StoreRestorer(p.Store()))
+		if err != nil {
+			ln.Close()
+			lp.caller.Close()
+			return nil, err
+		}
+		p.Store().SetJournal(lg)
+		p.AttachDurability(lg)
+		lp.wal = lg
+		lp.recovery = rec
+	}
+	lp.server = transport.ServeTCPTraced(ln, p.HandleTraced)
 	if bootstrap != "" {
 		if err := p.Node().Join(bootstrap); err != nil {
 			lp.Close()
@@ -304,7 +354,7 @@ func (lp *LivePeer) WaitStable(timeout time.Duration) bool {
 // process-local metrics snapshot. peerd serves it as JSON at /status;
 // rangetop polls it across the cluster.
 func (lp *LivePeer) Status() obs.NodeStatus {
-	return obs.NodeStatus{
+	st := obs.NodeStatus{
 		Addr:      lp.Addr(),
 		Ref:       lp.Ref().String(),
 		Successor: lp.Successor().String(),
@@ -313,6 +363,19 @@ func (lp *LivePeer) Status() obs.NodeStatus {
 		Served:    lp.peer.ServedProbes(),
 		Metrics:   metrics.Default.Snapshot(),
 	}
+	if ws, ok := lp.Durable(); ok {
+		st.Durable = &obs.DurableStatus{
+			Dir:        ws.Dir,
+			Fsync:      ws.Fsync,
+			ActiveSeq:  ws.ActiveSeq,
+			SegmentSeq: ws.SegmentSeq,
+			Appended:   ws.Appended,
+			Durable:    ws.Durable,
+			SinceFold:  ws.SinceFold,
+			Err:        ws.Err,
+		}
+	}
+	return st
 }
 
 // Connect starts an ephemeral query peer: it listens on an OS-assigned
@@ -445,13 +508,32 @@ func (lp *LivePeer) Leave() error {
 }
 
 // Close stops maintenance, the server, and client connections without the
-// graceful hand-off.
+// graceful hand-off, then checkpoints and closes the write-ahead log (if
+// any) so the next boot recovers from a sealed segment alone.
 func (lp *LivePeer) Close() {
 	if lp.maintainer != nil {
 		lp.maintainer.Stop()
 	}
-	lp.server.Close()
+	if lp.server != nil {
+		lp.server.Close()
+	}
 	lp.caller.Close()
+	if lp.wal != nil {
+		lp.wal.Close()
+	}
+}
+
+// Recovery reports what boot-time replay restored (zero value for
+// memory-only peers): the segment and WAL records applied, whether a
+// torn tail was truncated, and how long recovery took.
+func (lp *LivePeer) Recovery() wal.Recovery { return lp.recovery }
+
+// Durable reports the live WAL state, and whether durability is on.
+func (lp *LivePeer) Durable() (wal.Stats, bool) {
+	if lp.wal == nil {
+		return wal.Stats{}, false
+	}
+	return lp.wal.Stats(), true
 }
 
 // Descriptor builds a PartitionInfo for data held at this peer.
