@@ -36,8 +36,10 @@ flagcheck:
 	$(GO) run ./tools/checkflags
 
 # benchguard pins the hot-path allocation contracts under -benchmem: a
-# nil span threaded through a hot path and a probe-request binary
-# encode+decode round trip must both stay at 0 allocs/op.
+# nil span threaded through a hot path, a probe-request binary
+# encode+decode round trip, and a segment point read (bloom check +
+# sparse-index probe + record walk, hit and miss) must all stay at
+# 0 allocs/op.
 benchguard:
 	@out=$$($(GO) test -run '^$$' -bench BenchmarkDisabledSpan -benchmem ./internal/trace); \
 	if ! echo "$$out" | grep -q '0 allocs/op'; then \
@@ -49,6 +51,11 @@ benchguard:
 		echo "probe codec round trip allocates:"; echo "$$out"; exit 1; \
 	fi; \
 	echo "benchguard: probe codec round trip holds 0 allocs/op"
+	@out=$$($(GO) test -run '^$$' -bench 'BenchmarkSegmentProbe' -benchmem ./internal/wal); \
+	if [ $$(echo "$$out" | grep -c '0 allocs/op') -lt 2 ]; then \
+		echo "segment probe hot path allocates:"; echo "$$out"; exit 1; \
+	fi; \
+	echo "benchguard: segment probe (hit and miss) holds 0 allocs/op"
 
 # trace-demo prints a hop-by-hop span tree for one query on a simulated
 # 8-peer ring — the quickest way to see the observability layer.
@@ -73,6 +80,9 @@ bench:
 		> BENCH_replica.json
 	@$(GO) run ./cmd/rangebench -fig sig -quick
 	@$(GO) run ./cmd/rangebench -fig load -quick
+	$(GO) test -run '^$$' -bench 'BenchmarkSegment' -benchmem ./internal/wal \
+		| $(GO) run ./tools/benchmerge -key segment_reads \
+		-note "disk read path: Get via sparse index vs full segment scan; Probe is the bloom+index point read"
 
 # bench-all runs every benchmark in the repo once, as a smoke test.
 bench-all:

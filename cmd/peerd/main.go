@@ -82,6 +82,7 @@ func main() {
 		dataDir      = flag.String("data-dir", "", "durable store directory: WAL + segments, replayed on restart (empty: memory-only)")
 		fsync        = flag.String("fsync", "always", "durability barrier with -data-dir: always (fsync before ack) | off (page cache)")
 		compactEvery = flag.Int("compact-every", 0, "fold WAL into a segment after this many records (0: default 4096; <0 disables)")
+		memLimit     = flag.Int("mem-limit", 0, "max descriptors resident in memory; with -data-dir overflow is served from segments (read-through), without it overflow is dropped (LRU); 0 unbounded")
 	)
 	var publishes publishFlags
 	flag.Var(&publishes, "publish",
@@ -114,6 +115,7 @@ func main() {
 		DataDir:          *dataDir,
 		Fsync:            *fsync,
 		CompactEvery:     *compactEvery,
+		MemLimit:         *memLimit,
 	}
 	cfg.Stabilize.RepairEvery = *repairEvery
 	if *drop > 0 {
@@ -129,6 +131,10 @@ func main() {
 		log.Printf("peerd: recovered %s: %d from segment %d, %d replayed from %d wal file(s) in %s (torn tail: %v)",
 			*dataDir, rec.SegmentRecords, rec.SegmentSeq, rec.Replayed, rec.WALFiles,
 			rec.Elapsed.Round(time.Microsecond), rec.TornTail)
+		if rec.ReadThrough {
+			log.Printf("peerd: read-through on: resident cap %d descriptors, %d on segment (index rebuilt: %v)",
+				*memLimit, rec.SegmentRecords, rec.IndexRebuilt)
+		}
 	}
 	if *debugAddr != "" {
 		startDebugServer(*debugAddr, lp)

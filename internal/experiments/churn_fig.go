@@ -26,12 +26,18 @@ func init() {
 // ring; backfilled ones had to be resupplied by arc reclaim and
 // anti-entropy; lost ones are gone. The recovery column is WAL replay
 // latency.
+//
+// The resident rows cap the restarted peer's in-memory store at a
+// fraction of its working set and serve the rest from the sealed segment
+// (read-through). recall% compares every answer byte-for-byte against an
+// unbounded reboot of the same data — by construction it must stay at
+// 100 while disk/q (segment reads per lookup) rises as the cap shrinks.
 func ChurnResilience(p Params) (*Table, error) {
 	t := &Table{
 		ID:    "churn",
 		Title: "Lookup availability under churn: fault tolerance on vs off",
 		Columns: []string{"peers", "crashes", "drop%", "mode", "success%", "retries", "reroutes", "injected",
-			"held", "recovered", "backfilled", "lost", "recovery"},
+			"held", "recovered", "backfilled", "lost", "recovery", "recall%", "p99", "disk/q"},
 	}
 	n := p.ClusterN
 	if n < 16 {
@@ -48,7 +54,10 @@ func ChurnResilience(p Params) (*Table, error) {
 		Seed:    p.Seed,
 	}
 	t.Notes = fmt.Sprintf("%d lookups, %d-peer ring, crashes spread across the run, identical seeds per mode; "+
-		"restart rows: %d descriptors published, 1 peer crashed and restarted (cold vs WAL replay)", lookups, n, lookups)
+		"restart rows: %d descriptors published, 1 peer crashed and restarted (cold vs WAL replay); "+
+		"resident rows: 1 durable peer rebooted with its memory capped at the named fraction of the working set, "+
+		"overflow served from the sealed segment — recall%% is byte-identity against the unbounded reboot",
+		lookups, n, lookups)
 	for _, ft := range []bool{true, false} {
 		cfg.FaultTolerance = ft
 		res, err := sim.RunChurn(cfg)
@@ -68,7 +77,7 @@ func ChurnResilience(p Params) (*Table, error) {
 			fmt.Sprintf("%d", res.Stats.Retries),
 			fmt.Sprintf("%d", res.Stats.Rerouted),
 			fmt.Sprintf("%d", res.Injected),
-			"-", "-", "-", "-", "-",
+			"-", "-", "-", "-", "-", "-", "-", "-",
 		)
 	}
 	for _, durable := range []bool{false, true} {
@@ -107,6 +116,47 @@ func ChurnResilience(p Params) (*Table, error) {
 			fmt.Sprintf("%d", res.Backfilled),
 			fmt.Sprintf("%d", res.Lost),
 			recovery,
+			"-", "-", "-",
+		)
+	}
+
+	// Resident-set ablation: reboot one durable peer with its in-memory
+	// store capped at 100/50/10% of the working set; the segment serves
+	// the overflow. The 0% row is the unbounded baseline all answers are
+	// compared against.
+	var baseline *sim.ResidentResult
+	for _, pct := range []int{0, 100, 50, 10} {
+		dir, err := os.MkdirTemp("", "p2prange-resident-")
+		if err != nil {
+			return nil, err
+		}
+		defer os.RemoveAll(dir)
+		res, err := sim.RunResident(sim.ResidentConfig{
+			Partitions: lookups / 2,
+			Queries:    lookups,
+			CapPct:     pct,
+			Dir:        dir,
+			Seed:       p.Seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		mode, recall := "resident-all", "100.0"
+		if pct == 0 {
+			baseline = res
+		} else {
+			mode = fmt.Sprintf("resident-%d%%", pct)
+			recall = fmt.Sprintf("%.1f", 100*res.Recall(baseline))
+		}
+		t.AddRow(
+			"1", "1", "0", mode,
+			"-", "-", "-", "-",
+			fmt.Sprintf("%d", res.Held),
+			"-", "-", "-",
+			res.Recovery.Elapsed.Round(10*time.Microsecond).String(),
+			recall,
+			res.P99.Round(time.Microsecond).String(),
+			fmt.Sprintf("%.2f", res.DiskPerQuery()),
 		)
 	}
 	return t, nil

@@ -64,6 +64,18 @@ type DurableStatus struct {
 	SinceFold int `json:"since_fold"`
 	// Err carries a latched IO or compaction failure; empty is healthy.
 	Err string `json:"err,omitempty"`
+	// ReadThrough reports segment read-through mode (peerd -mem-limit
+	// with -data-dir): the in-memory store is a bounded cache over the
+	// sealed segment.
+	ReadThrough bool `json:"read_through,omitempty"`
+	// Resident is the number of descriptors currently held in memory;
+	// at most the configured memory limit, while Stored counts the full
+	// working set (memory + segment). Only set in read-through mode.
+	Resident int `json:"resident,omitempty"`
+	// IndexRebuilt reports that boot found the newest segment's index
+	// footer damaged and rebuilt the index with a full-segment scan.
+	// Answers are unaffected; the next compaction writes a fresh footer.
+	IndexRebuilt bool `json:"index_rebuilt,omitempty"`
 }
 
 // ClusterView is the aggregated state of a whole cluster at one instant.

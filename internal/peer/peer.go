@@ -324,7 +324,7 @@ func serveKind(req any) string {
 func (p *Peer) handle(req any, sp *trace.Span) (any, error) {
 	switch r := req.(type) {
 	case FindBestReq:
-		fb := p.findBest(r.ID, r.Relation, r.Attribute, r.Range, r.Measure)
+		fb := p.findBest(r.ID, r.Relation, r.Attribute, r.Range, r.Measure, sp)
 		if sp.On() {
 			if fb.Found {
 				sp.Eventf("best", "%s score=%.3f", fb.Match.Partition.Range, fb.Match.Score)
@@ -336,7 +336,7 @@ func (p *Peer) handle(req any, sp *trace.Span) (any, error) {
 	case FindBestBatchReq:
 		resp := FindBestBatchResp{Results: make([]FindBestResp, len(r.IDs))}
 		for i, id := range r.IDs {
-			resp.Results[i] = p.findBest(id, r.Relation, r.Attribute, r.Range, r.Measure)
+			resp.Results[i] = p.findBest(id, r.Relation, r.Attribute, r.Range, r.Measure, sp)
 		}
 		if sp.On() {
 			sp.Eventf("batch", "%d probe(s)", len(r.IDs))
@@ -411,8 +411,9 @@ func (p *Peer) handle(req any, sp *trace.Span) (any, error) {
 
 // findBest serves one bucket probe: load accounting, hot-bucket hit
 // tracking, and the store search. Shared by the single-probe and batch
-// handlers so both paths count load identically.
-func (p *Peer) findBest(id uint32, rel, attribute string, q rangeset.Range, measure store.Measure) FindBestResp {
+// handlers so both paths count load identically. sp (may be nil) gains a
+// seg.read child span when the probe falls through to the segment tier.
+func (p *Peer) findBest(id uint32, rel, attribute string, q rangeset.Range, measure store.Measure, sp *trace.Span) FindBestResp {
 	p.served.Add(1)
 	if p.replica != nil {
 		p.replica.Hit(id)
@@ -420,9 +421,9 @@ func (p *Peer) findBest(id uint32, rel, attribute string, q rangeset.Range, meas
 	var m store.Match
 	var ok bool
 	if p.cfg.UsePeerIndex {
-		m, ok = p.store.FindBestAnywhere(rel, attribute, q, measure)
+		m, ok = p.store.FindBestAnywhereTraced(rel, attribute, q, measure, sp)
 	} else {
-		m, ok = p.store.FindBest(id, rel, attribute, q, measure)
+		m, ok = p.store.FindBestTraced(id, rel, attribute, q, measure, sp)
 	}
 	return FindBestResp{Match: m, Found: ok}
 }

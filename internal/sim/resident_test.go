@@ -1,0 +1,61 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestResidentCapMatchesUnbounded is the acceptance check for segment
+// read-through: a peer rebooted with its resident set capped at 10% of
+// the working set must answer the whole query mix byte-identically to an
+// unbounded reboot, and must visibly pay for it in disk reads.
+func TestResidentCapMatchesUnbounded(t *testing.T) {
+	const seed = 11
+	base, err := RunResident(ResidentConfig{
+		Partitions: 120, Queries: 150, CapPct: 0, Dir: t.TempDir(), Seed: seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Held == 0 || len(base.Answers) != 150 {
+		t.Fatalf("vacuous baseline: %+v", base)
+	}
+	found := 0
+	for _, a := range base.Answers {
+		if strings.HasSuffix(a, "|true") {
+			found++
+		}
+	}
+	if found < len(base.Answers)/2 {
+		t.Fatalf("baseline found only %d/%d probes; the mix is not exercising the store", found, len(base.Answers))
+	}
+	if base.SegReads != 0 {
+		t.Errorf("unbounded baseline touched the segment %d times", base.SegReads)
+	}
+
+	for _, pct := range []int{100, 50, 10} {
+		capped, err := RunResident(ResidentConfig{
+			Partitions: 120, Queries: 150, CapPct: pct, Dir: t.TempDir(), Seed: seed,
+		})
+		if err != nil {
+			t.Fatalf("cap %d%%: %v", pct, err)
+		}
+		if capped.Held != base.Held {
+			t.Fatalf("cap %d%%: held %d, baseline %d", pct, capped.Held, base.Held)
+		}
+		if got := capped.Recall(base); got != 1.0 {
+			t.Errorf("cap %d%%: recall %.4f, want 1.0 — the cap changed answers", pct, got)
+		}
+		if !capped.Recovery.ReadThrough {
+			t.Errorf("cap %d%%: recovery did not run read-through: %+v", pct, capped.Recovery)
+		}
+		if capped.SegReads == 0 {
+			t.Errorf("cap %d%%: no segment reads — the disk tier was never consulted", pct)
+		}
+		if capped.Resident > capped.Cap {
+			t.Errorf("cap %d%%: resident %d exceeds cap %d", pct, capped.Resident, capped.Cap)
+		}
+		t.Logf("cap %d%% (%d descriptors): resident %d, seg reads %d (%.2f/query), miss_disk %d, p99 %v",
+			pct, capped.Cap, capped.Resident, capped.SegReads, capped.DiskPerQuery(), capped.MissDisk, capped.P99)
+	}
+}

@@ -103,10 +103,17 @@ type Journal interface {
 // With a positive capacity, the store evicts its least-recently-matched
 // descriptor to admit a new one (the paper assumes unbounded caches; the
 // capacity ablation measures what bounding them costs).
+//
+// With a segment tier attached (SetSegments), the store becomes a
+// bounded read-through cache over a sealed on-disk segment: reads merge
+// both tiers (memory wins per identity), misses served from disk are
+// admitted back into memory, and capacity evictions silently drop
+// segment-backed entries — the overlay bookkeeping that makes this safe
+// lives in tiered.go.
 type Store struct {
 	mu      sync.RWMutex
 	buckets map[ID][]Partition
-	count   int // total stored descriptors across buckets
+	count   int // descriptors resident in memory
 	cap     int // 0 = unbounded
 	journal Journal
 
@@ -116,6 +123,18 @@ type Store struct {
 	// eviction are O(1) instead of a full descriptor scan.
 	lru   *list.List
 	index map[string]*list.Element
+
+	// Two-tier state (tiered.go). total is the logical descriptor count
+	// across both tiers; pinned/tombs/arcTombs track where memory
+	// diverges from the sealed segment, stamped with the WAL epoch whose
+	// fold absorbs the divergence.
+	tiered   bool
+	segs     SegmentSource
+	total    int
+	pinned   map[string]pin
+	tombs    map[string]uint64
+	arcTombs []arcTomb
+	epochFn  func() uint64
 }
 
 // lruEntry locates one descriptor from its LRU list slot.
@@ -141,16 +160,27 @@ func NewBounded(capacity int) *Store {
 
 // SetJournal attaches (or, with nil, detaches) the store's write-ahead
 // journal. Attach it only after any recovery replay has finished, or
-// replayed mutations would be re-journaled.
+// replayed mutations would be re-journaled. A journal that also exposes
+// Epoch() uint64 (wal.Log does) lets the two-tier overlay stamp pins
+// and tombstones with the WAL epoch that will fold them away.
 func (s *Store) SetJournal(j Journal) {
 	s.mu.Lock()
 	s.journal = j
+	s.epochFn = nil
+	if e, ok := j.(interface{ Epoch() uint64 }); ok {
+		s.epochFn = e.Epoch
+	}
 	s.mu.Unlock()
 }
 
 // entryKey identifies one descriptor within one bucket for LRU tracking.
 func entryKey(id ID, p Partition) string {
-	return fmt.Sprintf("%08x/%s", id, p.Key())
+	return entryKeyStr(id, p.Key())
+}
+
+// entryKeyStr is entryKey from an already-built identity key.
+func entryKeyStr(id ID, key string) string {
+	return fmt.Sprintf("%08x/%s", id, key)
 }
 
 // Put stores the partition descriptor in bucket id. Exact duplicates
@@ -171,13 +201,30 @@ func (s *Store) Put(id ID, p Partition) bool {
 				s.buckets[id][i] = p
 				// A version upgrade is a repair of a live descriptor:
 				// refresh its recency so a freshly repaired hot replica is
-				// not the next eviction victim.
+				// not the next eviction victim (journalPutLocked pins it
+				// instead on a tiered store — it is newer than the segment
+				// copy now, so it must not be evicted before the next fold).
 				s.touchLocked(id, p)
-				if s.journal != nil {
-					s.journal.Put(id, p)
-				}
+				s.journalPutLocked(id, p)
 			}
 			return false
+		}
+	}
+	// Not in memory. On a tiered store the identity may still live in the
+	// segment: a same-or-newer disk copy makes this put a duplicate, an
+	// older one makes it an upgrade — either way the descriptor count is
+	// unchanged. Only a descriptor absent from both tiers is new.
+	upgrade := false
+	if s.tiered && s.segs != nil && !s.maskedLocked(id, p.Key()) {
+		metMissDisk.Inc()
+		if q, ok, err := s.segs.Get(id, p.Key()); err != nil {
+			metDiskErrs.Inc()
+		} else if ok {
+			metMissDiskHits.Inc()
+			if p.Version <= q.Version {
+				return false
+			}
+			upgrade = true
 		}
 	}
 	if s.cap > 0 && s.count >= s.cap {
@@ -186,8 +233,12 @@ func (s *Store) Put(id ID, p Partition) bool {
 	s.buckets[id] = append(s.buckets[id], p)
 	s.touchLocked(id, p)
 	s.count++
-	if s.journal != nil {
-		s.journal.Put(id, p)
+	s.journalPutLocked(id, p)
+	if upgrade {
+		return false
+	}
+	if s.tiered {
+		s.total++
 	}
 	return true
 }
@@ -200,6 +251,9 @@ func (s *Store) touchLocked(id ID, p Partition) {
 		return
 	}
 	k := entryKey(id, p)
+	if _, isPinned := s.pinned[k]; isPinned {
+		return // pinned entries live outside the LRU (tiered.go)
+	}
 	if el, ok := s.index[k]; ok {
 		s.lru.MoveToFront(el)
 		return
@@ -234,9 +288,13 @@ func (s *Store) evictLocked() {
 	bucket := s.buckets[e.id]
 	for i, p := range bucket {
 		if entryKey(e.id, p) == e.key {
-			// Journaled before the insert that displaces it, so replay
-			// deletes this exact victim instead of re-running LRU choice.
-			if s.journal != nil {
+			// Untiered: journaled before the insert that displaces it, so
+			// replay deletes this exact victim instead of re-running LRU
+			// choice. Tiered: silent — every LRU entry is segment-backed
+			// by construction (unfolded descriptors are pinned outside the
+			// list), so dropping it from memory loses nothing, and
+			// journaling an evict here would fold the descriptor away.
+			if !s.tiered && s.journal != nil {
 				s.journal.Evict(e.id, p.Key())
 			}
 			bucket = append(bucket[:i], bucket[i+1:]...)
@@ -267,6 +325,14 @@ func (s *Store) Delete(id ID, key string) bool {
 		if s.journal != nil {
 			s.journal.Evict(id, key)
 		}
+		if s.tiered {
+			// Mask the segment's copy (if any) until the fold applies the
+			// evict record, and release the pin if it had one.
+			k := entryKeyStr(id, key)
+			delete(s.pinned, k)
+			s.tombs[k] = s.epochLocked()
+			s.total--
+		}
 		bucket = append(bucket[:i], bucket[i+1:]...)
 		if len(bucket) == 0 {
 			delete(s.buckets, id)
@@ -276,48 +342,42 @@ func (s *Store) Delete(id ID, key string) bool {
 		s.count--
 		return true
 	}
+	// Not resident — on a tiered store the identity may still live in the
+	// segment; deleting it is a journaled evict plus a tombstone.
+	if s.tiered && s.segs != nil && !s.maskedLocked(id, key) {
+		metMissDisk.Inc()
+		if _, ok, err := s.segs.Get(id, key); err != nil {
+			metDiskErrs.Inc()
+		} else if ok {
+			metMissDiskHits.Inc()
+			if s.journal != nil {
+				s.journal.Evict(id, key)
+			}
+			s.tombs[entryKeyStr(id, key)] = s.epochLocked()
+			s.total--
+			return true
+		}
+	}
 	return false
 }
 
 // FindBest scans bucket id for the best match for query q on relation and
-// attribute under measure. ok is true only when some candidate scores
+// attribute under measure, merging the memory and segment tiers when a
+// disk tier is attached. ok is true only when some candidate scores
 // above zero; a zero-score best candidate is still returned (with
 // ok=false) so callers can tell an empty bucket from a dissimilar one.
-// On bounded stores a positive match refreshes the entry's LRU position.
+// On bounded stores a positive match refreshes the entry's LRU position;
+// a positive match served from the segment is admitted into memory.
 func (s *Store) FindBest(id ID, relation, attribute string, q rangeset.Range, measure Measure) (Match, bool) {
-	s.mu.RLock()
-	m, ok := bestOf(s.buckets[id], relation, attribute, q, measure)
-	bounded := s.cap > 0
-	s.mu.RUnlock()
-	if !ok || !bounded {
-		return m, ok
-	}
-	// Positive match on a bounded store: upgrade to the write lock only
-	// now, so concurrent misses (and concurrent hits' scans) share the
-	// read lock. The entry may have been evicted between the two locks —
-	// touch it only if the index still knows it.
-	s.mu.Lock()
-	if el, present := s.index[entryKey(id, m.Partition)]; present {
-		s.lru.MoveToFront(el)
-	}
-	s.mu.Unlock()
-	return m, ok
+	return s.FindBestTraced(id, relation, attribute, q, measure, nil)
 }
 
 // FindBestAnywhere searches every bucket the peer owns (the Section 5.3
-// peer-wide index). With few peers this sees most of the system's
-// partitions; with many peers it degenerates to single-bucket search.
+// peer-wide index), both tiers included. With few peers this sees most
+// of the system's partitions; with many peers it degenerates to
+// single-bucket search.
 func (s *Store) FindBestAnywhere(relation, attribute string, q rangeset.Range, measure Measure) (Match, bool) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	var best Match
-	found := false
-	for _, bucket := range s.buckets {
-		if m, ok := bestOf(bucket, relation, attribute, q, measure); ok && (!found || better(m, best)) {
-			best, found = m, true
-		}
-	}
-	return best, found
+	return s.FindBestAnywhereTraced(relation, attribute, q, measure, nil)
 }
 
 // better reports whether candidate m beats the current best: higher
@@ -336,6 +396,13 @@ func better(m, best Match) bool {
 }
 
 func bestOf(bucket []Partition, relation, attribute string, q rangeset.Range, measure Measure) (Match, bool) {
+	best, found := rawBestOf(bucket, relation, attribute, q, measure)
+	return best, found && best.Score > 0
+}
+
+// rawBestOf is bestOf without the positive-score threshold, so tier
+// merges can combine candidates first and apply the threshold once.
+func rawBestOf(bucket []Partition, relation, attribute string, q rangeset.Range, measure Measure) (Match, bool) {
 	var best Match
 	found := false
 	for _, p := range bucket {
@@ -348,41 +415,93 @@ func bestOf(bucket []Partition, relation, attribute string, q rangeset.Range, me
 			found = true
 		}
 	}
-	return best, found && best.Score > 0
+	return best, found
 }
 
-// Bucket returns a copy of the descriptors in bucket id.
+// Bucket returns a copy of the descriptors in bucket id, both tiers
+// merged (memory wins per identity).
 func (s *Store) Bucket(id ID) []Partition {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	return append([]Partition(nil), s.buckets[id]...)
+	out := append([]Partition(nil), s.buckets[id]...)
+	if s.tiered && s.segs != nil && !s.arcDeadLocked(id) && s.segs.MayContain(id) {
+		mem := s.buckets[id]
+		err := s.segs.Bucket(id, func(p Partition) error {
+			if _, dead := s.tombs[entryKeyStr(id, p.Key())]; dead {
+				return nil
+			}
+			if memHasIdentity(mem, p) {
+				return nil
+			}
+			out = append(out, p)
+			return nil
+		})
+		if err != nil {
+			metDiskErrs.Inc()
+		}
+	}
+	return out
 }
 
-// Len returns the total number of stored descriptors (the per-node load
-// the paper plots in Fig. 11).
+// Len returns the total number of stored descriptors across both tiers
+// (the per-node load the paper plots in Fig. 11). MemLen reports how
+// many of them are resident in memory.
 func (s *Store) Len() int {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
+	if s.tiered {
+		return s.total
+	}
 	return s.count
 }
 
-// Buckets returns the number of non-empty buckets.
+// Buckets returns the number of non-empty buckets, both tiers merged.
 func (s *Store) Buckets() int {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	return len(s.buckets)
+	if !s.tiered || s.segs == nil {
+		return len(s.buckets)
+	}
+	return len(s.idSetLocked())
 }
 
-// IDs returns the bucket identifiers in ascending order.
+// IDs returns the bucket identifiers in ascending order, both tiers
+// merged.
 func (s *Store) IDs() []ID {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	ids := make([]ID, 0, len(s.buckets))
-	for id := range s.buckets {
+	set := s.idSetLocked()
+	ids := make([]ID, 0, len(set))
+	for id := range set {
 		ids = append(ids, id)
 	}
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	return ids
+}
+
+// idSetLocked collects the non-empty bucket ids across both tiers.
+// Caller holds at least the read lock.
+func (s *Store) idSetLocked() map[ID]struct{} {
+	set := make(map[ID]struct{}, len(s.buckets))
+	for id := range s.buckets {
+		set[id] = struct{}{}
+	}
+	if s.tiered && s.segs != nil {
+		err := s.segs.Scan(func(id ID, p Partition) error {
+			if _, ok := set[id]; ok {
+				return nil
+			}
+			if s.maskedLocked(id, p.Key()) {
+				return nil
+			}
+			set[id] = struct{}{}
+			return nil
+		})
+		if err != nil {
+			metDiskErrs.Inc()
+		}
+	}
+	return set
 }
 
 // ExtractArc removes and returns all buckets whose identifier lies on the
@@ -399,13 +518,39 @@ func (s *Store) ExtractArc(from, to ID) map[ID][]Partition {
 			delete(s.buckets, id)
 			for _, p := range bucket {
 				s.dropLocked(id, p)
+				if s.tiered {
+					delete(s.pinned, entryKey(id, p))
+					s.total--
+				}
 			}
+		}
+	}
+	// Tiered: the segment holds descriptors on the arc that were never
+	// resident — hand those off too, and mask the whole arc until the
+	// fold applies the drop record. Resident copies extracted above
+	// dedupe the disk walk (memory is same-or-newer).
+	if s.tiered && s.segs != nil {
+		err := s.segs.ScanArc(from, to, func(id ID, p Partition) error {
+			if s.maskedLocked(id, p.Key()) || memHasIdentity(out[id], p) {
+				return nil
+			}
+			out[id] = append(out[id], p)
+			s.total--
+			return nil
+		})
+		if err != nil {
+			metDiskErrs.Inc()
 		}
 	}
 	// One arc record covers every removed bucket; an empty extraction
 	// journals nothing.
-	if s.journal != nil && len(out) > 0 {
-		s.journal.DropArc(from, to)
+	if len(out) > 0 {
+		if s.journal != nil {
+			s.journal.DropArc(from, to)
+		}
+		if s.tiered {
+			s.arcTombs = append(s.arcTombs, arcTomb{from: from, to: to, epoch: s.epochLocked()})
+		}
 	}
 	return out
 }
@@ -420,19 +565,19 @@ func (s *Store) Absorb(buckets map[ID][]Partition) {
 }
 
 // Has reports whether bucket id already holds a descriptor with p's
-// identity (relation, attribute, range), at any version.
+// identity (relation, attribute, range), at any version, in either tier.
 func (s *Store) Has(id ID, p Partition) bool {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	for _, q := range s.buckets[id] {
-		if q.Relation == p.Relation && q.Attribute == p.Attribute && q.Range == p.Range {
-			return true
-		}
+	if memHasIdentity(s.buckets[id], p) {
+		return true
 	}
-	return false
+	_, ok := s.diskGetLocked(id, p.Key())
+	return ok
 }
 
-// Get returns the descriptor in bucket id with the given Key.
+// Get returns the descriptor in bucket id with the given Key, consulting
+// the segment tier on a memory miss.
 func (s *Store) Get(id ID, key string) (Partition, bool) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
@@ -441,7 +586,7 @@ func (s *Store) Get(id ID, key string) (Partition, bool) {
 			return p, true
 		}
 	}
-	return Partition{}, false
+	return s.diskGetLocked(id, key)
 }
 
 // Digest is a version vector over a set of buckets: descriptor key ->
@@ -465,6 +610,30 @@ func (s *Store) Digest(keep func(ID) bool) Digest {
 		}
 		out[id] = vv
 	}
+	if s.tiered && s.segs != nil {
+		err := s.segs.Scan(func(id ID, p Partition) error {
+			if keep != nil && !keep(id) {
+				return nil
+			}
+			key := p.Key()
+			if s.maskedLocked(id, key) {
+				return nil
+			}
+			vv := out[id]
+			if _, resident := vv[key]; resident {
+				return nil // memory is same-or-newer
+			}
+			if vv == nil {
+				vv = make(map[string]uint64)
+				out[id] = vv
+			}
+			vv[key] = p.Version
+			return nil
+		})
+		if err != nil {
+			metDiskErrs.Inc()
+		}
+	}
 	return out
 }
 
@@ -485,6 +654,14 @@ func (s *Store) MissingFrom(offered Digest) map[ID][]string {
 			have, ok := local[key]
 			if ok && have >= ver {
 				continue
+			}
+			if !ok {
+				// Not resident; the segment may hold a current copy (a
+				// deleted identity stays missing — its tombstone masks the
+				// disk copy, exactly as if it were absent).
+				if q, onDisk := s.diskGetLocked(id, key); onDisk && q.Version >= ver {
+					continue
+				}
 			}
 			if missing == nil {
 				missing = make(map[ID][]string)

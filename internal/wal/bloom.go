@@ -1,0 +1,92 @@
+package wal
+
+// A standard double-hashed bloom filter over 64-bit FNV-1a hashes, used
+// twice per segment: once over bucket ids (so FindBest on an id the
+// segment has never held costs zero I/O) and once over (id, key) pairs
+// (so Put/Get admission checks for absent descriptors skip the probe).
+// Both are built at compaction time from the exact record set, serialized
+// into the segment footer, and rebuilt from a full scan when the footer
+// is damaged. The byte layout is specified in docs/DURABILITY.md.
+//
+// Sizing is fixed at build time: bloomBitsPerKey bits per entry and
+// bloomHashes probes, giving a false-positive rate under 1% — a false
+// positive only costs one wasted index probe, never a wrong answer.
+
+const (
+	bloomBitsPerKey = 10
+	bloomHashes     = 7
+	// bloomMaxBytes clamps a deserialized filter, like MaxRecord clamps a
+	// record: a hostile or corrupt length can not force a huge allocation.
+	bloomMaxBytes = 64 << 20
+)
+
+type bloom struct {
+	m    uint64 // number of bits
+	k    uint32 // probes per entry
+	bits []byte
+}
+
+// newBloom sizes a filter for n entries.
+func newBloom(n int) *bloom {
+	m := uint64(n) * bloomBitsPerKey
+	if m < 64 {
+		m = 64
+	}
+	return &bloom{m: m, k: bloomHashes, bits: make([]byte, (m+7)/8)}
+}
+
+// The two probe sequences are derived from one 64-bit hash via the
+// Kirsch–Mitzenmacher construction: bit_i = (h1 + i*h2) mod m, with h2
+// forced odd so the sequence cycles through the whole table.
+
+func (b *bloom) add(h uint64) {
+	h1, h2 := h, (h>>33)|1
+	for i := uint32(0); i < b.k; i++ {
+		pos := (h1 + uint64(i)*h2) % b.m
+		b.bits[pos>>3] |= 1 << (pos & 7)
+	}
+}
+
+func (b *bloom) has(h uint64) bool {
+	if b == nil {
+		return true // no filter = cannot exclude
+	}
+	h1, h2 := h, (h>>33)|1
+	for i := uint32(0); i < b.k; i++ {
+		pos := (h1 + uint64(i)*h2) % b.m
+		if b.bits[pos>>3]&(1<<(pos&7)) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// FNV-1a, inlined so hashing a lookup key allocates nothing.
+
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+func fnvByte(h uint64, b byte) uint64 {
+	return (h ^ uint64(b)) * fnvPrime64
+}
+
+// hashID hashes a bucket id as 4 big-endian bytes.
+func hashID(id uint32) uint64 {
+	h := uint64(fnvOffset64)
+	h = fnvByte(h, byte(id>>24))
+	h = fnvByte(h, byte(id>>16))
+	h = fnvByte(h, byte(id>>8))
+	return fnvByte(h, byte(id))
+}
+
+// hashIDKey hashes a descriptor identity: the 4 big-endian id bytes
+// followed by the key string ("rel.attr[lo,hi]", store.Partition.Key).
+func hashIDKey(id uint32, key string) uint64 {
+	h := hashID(id)
+	for i := 0; i < len(key); i++ {
+		h = fnvByte(h, key[i])
+	}
+	return h
+}

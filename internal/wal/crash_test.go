@@ -184,13 +184,21 @@ func TestRecoverPartialSegmentIgnored(t *testing.T) {
 	if len(segs) != 1 {
 		t.Fatalf("want one segment, got %v", segs)
 	}
-	// Tear the seal off the segment — a partial write a rename should
-	// have prevented, i.e. media corruption.
+	// Tear the segment mid-seal — a partial write a rename should have
+	// prevented, i.e. media corruption. The cut must land inside the seal
+	// record, not merely clip the footer (which would only cost an index
+	// rebuild): locate the seal via the reader's index first.
+	r, err := OpenSegmentReader(dir, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sealOff := r.idx.dataEnd
+	r.Close()
 	data, err := os.ReadFile(segs[0])
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := os.WriteFile(segs[0], data[:len(data)-6], 0o644); err != nil {
+	if err := os.WriteFile(segs[0], data[:sealOff+2], 0o644); err != nil {
 		t.Fatal(err)
 	}
 	st2, lg2, rec := openStore(t, dir, Options{})

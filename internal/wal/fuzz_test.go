@@ -1,6 +1,8 @@
 package wal
 
 import (
+	"errors"
+	"reflect"
 	"testing"
 
 	"p2prange/internal/rangeset"
@@ -45,6 +47,62 @@ func FuzzWALRecordParse(f *testing.F) {
 		}
 		if rec != rec2 {
 			t.Errorf("record changed across a round trip:\nfirst:  %+v\nsecond: %+v", rec, rec2)
+		}
+	})
+}
+
+// FuzzSegmentFooterParse hammers the segment-footer parser, which reads
+// the one region of a sealed segment not covered by record checksums
+// until its own CRC is verified. A mutated footer must either be rejected
+// (ErrCorrupt — the reader then rebuilds from the records) or parse into
+// an index that re-encodes and re-parses identically; it must never
+// panic or yield an index that disagrees with itself.
+func FuzzSegmentFooterParse(f *testing.F) {
+	const recStart, footerOff = 10, 1 << 20
+	// A realistic footer: sparse entries, populated blooms.
+	seedIdx := &segIndex{count: 130, dataEnd: 77777}
+	for i := 0; i < 3; i++ {
+		seedIdx.entries = append(seedIdx.entries, indexEntry{
+			id:  store.ID(i * 1000),
+			off: int64(20 + i*25600),
+		})
+	}
+	seedIdx.keys, seedIdx.ids = newBloom(130), newBloom(130)
+	for i := 0; i < 130; i++ {
+		seedIdx.keys.add(hashIDKey(uint32(i), "Patient.age[0,10]"))
+		seedIdx.ids.add(hashID(uint32(i)))
+	}
+	full := appendFooter(nil, seedIdx)
+	body := full[:len(full)-segTrailerLen]
+	f.Add(append([]byte(nil), body...))
+	for cut := 0; cut < len(body); cut += 3 {
+		f.Add(append([]byte(nil), body[:cut]...))
+	}
+	for pos := 0; pos < len(body); pos += 5 {
+		mut := append([]byte(nil), body...)
+		mut[pos] ^= 0x41
+		f.Add(mut)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<16 {
+			return
+		}
+		x, err := parseFooter(data, recStart, footerOff)
+		if err != nil {
+			if !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("footer rejection is not ErrCorrupt: %v", err)
+			}
+			return
+		}
+		again := appendFooter(nil, x)
+		x2, err := parseFooter(again[:len(again)-segTrailerLen], recStart, footerOff)
+		if err != nil {
+			t.Fatalf("re-encoded footer failed to parse: %v", err)
+		}
+		if x.count != x2.count || x.dataEnd != x2.dataEnd ||
+			!reflect.DeepEqual(x.entries, x2.entries) ||
+			!reflect.DeepEqual(x.keys, x2.keys) || !reflect.DeepEqual(x.ids, x2.ids) {
+			t.Errorf("footer changed across a round trip:\nfirst:  %+v\nsecond: %+v", x, x2)
 		}
 	})
 }

@@ -38,6 +38,14 @@ type Recovery struct {
 	// corrupt record in an earlier file (their ordering guarantee was
 	// gone). Only media corruption — never a plain crash — causes this.
 	DroppedFiles int `json:"dropped_files,omitempty"`
+	// ReadThrough reports that the boot segment was opened for
+	// read-through (kept on disk behind a reader) instead of loaded into
+	// memory.
+	ReadThrough bool `json:"read_through,omitempty"`
+	// IndexRebuilt reports that the boot segment's footer (index +
+	// blooms) was damaged and rebuilt by a full scan. Slower boot, same
+	// answers.
+	IndexRebuilt bool `json:"index_rebuilt,omitempty"`
 	// Elapsed is the wall-clock time Open spent scanning and replaying.
 	Elapsed time.Duration `json:"elapsed"`
 }
@@ -92,13 +100,33 @@ func Open(opt Options, apply func(Record) error) (*Log, Recovery, error) {
 
 	// Phase 1: newest fully-valid segment wins; bad ones are skipped
 	// (all-or-nothing — a segment either loads completely or not at all).
+	// In ReadThrough mode the segment's records stay on disk behind a
+	// reader (a damaged footer only forces an index rebuild — the record
+	// stream still decides validity); otherwise they are applied into
+	// memory as before.
 	var maxSeq uint64
+	var reader *SegmentReader
 	for i := len(segSeqs) - 1; i >= 0; i-- {
 		seq := segSeqs[i]
 		if seq > maxSeq {
 			maxSeq = seq
 		}
 		if rec.SegmentSeq != 0 {
+			continue
+		}
+		if opt.ReadThrough {
+			r, err := OpenSegmentReader(opt.Dir, seq)
+			if err != nil {
+				rec.BadSegments++
+				sp.Eventf("segment", "skip seg %d: %v", seq, err)
+				continue
+			}
+			reader = r
+			rec.SegmentSeq = seq
+			rec.SegmentRecords = r.Len()
+			rec.IndexRebuilt = r.Rebuilt()
+			sp.Eventf("segment", "opened seg %d for read-through: %d records (index rebuilt: %v)",
+				seq, r.Len(), r.Rebuilt())
 			continue
 		}
 		puts, err := loadSegment(opt.Dir, seq)
@@ -116,6 +144,23 @@ func Open(opt Options, apply func(Record) error) (*Log, Recovery, error) {
 		rec.SegmentRecords = len(puts)
 		sp.Eventf("segment", "restored %d records from seg %d", len(puts), seq)
 	}
+	rec.ReadThrough = opt.ReadThrough
+	if opt.ReadThrough && opt.OnSegment != nil {
+		// Attach the disk tier before WAL replay: replayed puts must see
+		// the segment to dedupe against it.
+		if err := opt.OnSegment(reader); err != nil {
+			if reader != nil {
+				reader.Close()
+			}
+			return nil, rec, err
+		}
+	}
+	fail := func(err error) (*Log, Recovery, error) {
+		if reader != nil {
+			reader.Close()
+		}
+		return nil, rec, err
+	}
 
 	// Phase 2: replay WAL files above the segment, ascending. Files at
 	// or below it were folded in already — stale leftovers, removed.
@@ -131,7 +176,7 @@ func Open(opt Options, apply func(Record) error) (*Log, Recovery, error) {
 		path := walPath(opt.Dir, seq)
 		data, err := os.ReadFile(path)
 		if err != nil {
-			return nil, rec, fmt.Errorf("wal: %w", err)
+			return fail(fmt.Errorf("wal: %w", err))
 		}
 		body, herr := parseHeader(data, magicWAL, seq)
 		applied := 0
@@ -154,7 +199,7 @@ func Open(opt Options, apply func(Record) error) (*Log, Recovery, error) {
 		}
 		if werr != nil && !errors.Is(werr, ErrCorrupt) {
 			// apply itself failed — a recovery bug, not disk damage.
-			return nil, rec, werr
+			return fail(werr)
 		}
 		// Torn or corrupt record: truncate this file at the last valid
 		// record and drop every later file — records after a tear have
@@ -168,7 +213,7 @@ func Open(opt Options, apply func(Record) error) (*Log, Recovery, error) {
 		} else {
 			sp.Eventf("torn", "wal %d: %v — truncated at %d records", seq, werr, applied)
 			if terr := os.Truncate(path, int64(len(data)-len(body)+off)); terr != nil {
-				return nil, rec, fmt.Errorf("wal: truncate torn tail: %w", terr)
+				return fail(fmt.Errorf("wal: truncate torn tail: %w", terr))
 			}
 		}
 		for _, later := range walSeqs[i+1:] {
@@ -194,19 +239,22 @@ func Open(opt Options, apply func(Record) error) (*Log, Recovery, error) {
 	seq := maxSeq + 1
 	f, err := createFile(walPath(opt.Dir, seq), magicWAL, seq)
 	if err != nil {
-		return nil, rec, err
+		return fail(err)
 	}
 	if err := syncDir(opt.Dir); err != nil {
 		f.Close()
-		return nil, rec, err
+		return fail(err)
 	}
 	l := &Log{
 		dir:          opt.Dir,
 		fsync:        opt.Fsync,
 		compactEvery: opt.CompactEvery,
+		readThrough:  opt.ReadThrough,
+		onSwap:       opt.OnSwap,
 		f:            f,
 		seq:          seq,
 		segSeq:       rec.SegmentSeq,
+		reader:       reader,
 		sinceFold:    rec.Replayed, // unfolded records carried over; fold soon if many
 	}
 	l.cond = sync.NewCond(&l.mu)

@@ -2,6 +2,7 @@ package wal
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"os"
 	"sort"
@@ -162,9 +163,13 @@ func writeSegment(dir string, seq uint64, state foldState) error {
 	}
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 
+	total := 0
+	for _, id := range ids {
+		total += len(state[id])
+	}
 	buf := append([]byte(nil), magicSEG...)
 	buf = transport.AppendUvarint(buf, seq)
-	count := uint64(0)
+	x := &segIndex{keys: newBloom(total), ids: newBloom(total)}
 	for _, id := range ids {
 		bucket := state[id]
 		keys := make([]string, 0, len(bucket))
@@ -174,11 +179,21 @@ func writeSegment(dir string, seq uint64, state foldState) error {
 		sort.Strings(keys)
 		for _, k := range keys {
 			p := bucket[k]
+			if x.count%segIndexEvery == 0 {
+				x.entries = append(x.entries, indexEntry{id: id, off: int64(len(buf))})
+			}
+			x.keys.add(hashIDKey(uint32(id), k))
+			x.ids.add(hashID(uint32(id)))
 			buf = appendFramed(buf, &Record{Op: OpPut, ID: id, Part: p})
-			count++
+			x.count++
 		}
 	}
-	buf = appendFramed(buf, &Record{Op: opSeal, Count: count})
+	x.dataEnd = int64(len(buf))
+	buf = appendFramed(buf, &Record{Op: opSeal, Count: uint64(x.count)})
+	// The footer (sparse index + blooms + locator trailer) rides after the
+	// seal: the seal stays the commit point, the footer only accelerates
+	// reads and is rebuilt from a scan if damaged (segreader.go).
+	buf = appendFooter(buf, x)
 
 	tmp := segPath(dir, seq) + ".tmp"
 	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
@@ -202,9 +217,14 @@ func writeSegment(dir string, seq uint64, state foldState) error {
 	return syncDir(dir)
 }
 
-// loadSegment reads sealed segment seq and returns its put records.
-// All-or-nothing: any framing failure, a missing seal, or a seal count
-// mismatch rejects the whole file.
+// errSealStop ends a segment walk cleanly at the seal record.
+var errSealStop = errors.New("wal: seal reached")
+
+// loadSegment reads sealed segment seq and returns its put records. The
+// record stream is all-or-nothing: any framing failure, a missing seal,
+// or a seal count mismatch rejects the whole file. Bytes after the seal
+// are the footer (index + blooms, possibly damaged) and are ignored —
+// the seal is the commit point, the footer only accelerates reads.
 func loadSegment(dir string, seq uint64) ([]Record, error) {
 	data, err := os.ReadFile(segPath(dir, seq))
 	if err != nil {
@@ -216,16 +236,14 @@ func loadSegment(dir string, seq uint64) ([]Record, error) {
 	}
 	var puts []Record
 	sealed := false
-	n, err := walkRecords(recs, func(r Record) error {
-		if sealed {
-			return fmt.Errorf("%w: record after seal", ErrCorrupt)
-		}
+	_, err = walkRecords(recs, func(r Record) error {
 		switch r.Op {
 		case opSeal:
 			if r.Count != uint64(len(puts)) {
 				return fmt.Errorf("%w: seal count %d, have %d records", ErrCorrupt, r.Count, len(puts))
 			}
 			sealed = true
+			return errSealStop
 		case OpPut:
 			puts = append(puts, r)
 		default:
@@ -233,14 +251,11 @@ func loadSegment(dir string, seq uint64) ([]Record, error) {
 		}
 		return nil
 	})
-	if err != nil {
+	if err != nil && !errors.Is(err, errSealStop) {
 		return nil, err
 	}
 	if !sealed {
 		return nil, fmt.Errorf("%w: unsealed segment", ErrCorrupt)
-	}
-	if n != len(recs) {
-		return nil, fmt.Errorf("%w: %d trailing segment byte(s)", ErrCorrupt, len(recs)-n)
 	}
 	return puts, nil
 }

@@ -73,6 +73,24 @@ type Options struct {
 	// accumulate. Zero means DefaultCompactEvery; negative disables
 	// automatic compaction (Checkpoint still compacts on demand).
 	CompactEvery int
+	// ReadThrough keeps the newest sealed segment open behind a
+	// SegmentReader instead of loading its records into memory at boot:
+	// Open skips applying segment records (only WAL records are
+	// replayed), hands the reader to OnSegment, and every compaction
+	// opens the new segment and announces it via OnSwap. The store serves
+	// misses from the reader — the disk tier of a bounded store.
+	ReadThrough bool
+	// OnSegment is called once during Open, after segment selection and
+	// before WAL replay, with the boot segment's reader (nil when no
+	// valid segment exists). ReadThrough only. A non-nil error aborts
+	// Open. Use it to attach the reader to the store so replayed WAL
+	// records merge against the disk tier.
+	OnSegment func(*SegmentReader) error
+	// OnSwap is called after each compaction with the new segment's
+	// reader and the newest WAL sequence it folded; the previous reader
+	// is closed after OnSwap returns. ReadThrough only. It runs on the
+	// compaction goroutine, holding no wal locks.
+	OnSwap func(*SegmentReader, uint64)
 }
 
 // ErrClosed reports use of a closed log.
@@ -93,6 +111,8 @@ type Log struct {
 	dir          string
 	fsync        FsyncMode
 	compactEvery int // 0 = disabled
+	readThrough  bool
+	onSwap       func(*SegmentReader, uint64) // Options.OnSwap
 
 	mu         sync.Mutex
 	cond       *sync.Cond
@@ -104,11 +124,12 @@ type Log struct {
 	compacting bool   // a compaction is running outside the lock
 	err        error  // latched IO error; the log is read-only garbage after
 	closed     bool
-	f          *os.File // active WAL file
-	seq        uint64   // active WAL sequence number
-	segSeq     uint64   // newest sealed segment (0 = none)
-	sinceFold  int      // records in WAL files not yet folded into a segment
-	compactErr string   // last compaction failure, for Stats
+	f          *os.File       // active WAL file
+	seq        uint64         // active WAL sequence number
+	segSeq     uint64         // newest sealed segment (0 = none)
+	reader     *SegmentReader // read-through reader over segSeq (ReadThrough only)
+	sinceFold  int            // records in WAL files not yet folded into a segment
+	compactErr string         // last compaction failure, for Stats
 }
 
 // Put journals a descriptor admission or in-place version upgrade.
@@ -128,6 +149,17 @@ func (l *Log) Evict(id store.ID, key string) {
 // lock.
 func (l *Log) DropArc(from, to store.ID) {
 	l.append(&Record{Op: OpDropArc, From: from, To: to})
+}
+
+// Epoch returns the active WAL file's sequence number. Records appended
+// now land in this file or a later one, so a fold up to sequence S
+// covers every record appended while Epoch() <= S. The tiered store
+// stamps its pins and tombstones with this to know when a segment swap
+// has absorbed them.
+func (l *Log) Epoch() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.seq
 }
 
 func (l *Log) append(r *Record) {
@@ -309,6 +341,31 @@ func (l *Log) compactOnce() error {
 	}
 	metFolded.Add(uint64(folded))
 
+	// Read-through: hand the new segment to the store BEFORE deleting the
+	// fold inputs, so there is never a moment where a descriptor is
+	// neither in a reachable segment nor in a WAL file. The store's swap
+	// (Options.OnSwap) is atomic under its own lock; the old reader is
+	// closed only after nothing can route reads to it.
+	if l.readThrough {
+		nr, err := OpenSegmentReader(l.dir, oldSeq)
+		if err != nil {
+			// Undo the segment write so state is exactly as if the fold
+			// failed: inputs intact, no orphan segment, retried later.
+			os.Remove(segPath(l.dir, oldSeq))
+			return fmt.Errorf("wal: reopen segment %d: %w", oldSeq, err)
+		}
+		if l.onSwap != nil {
+			l.onSwap(nr, oldSeq)
+		}
+		l.mu.Lock()
+		oldReader := l.reader
+		l.reader = nr
+		l.mu.Unlock()
+		if oldReader != nil {
+			oldReader.Close()
+		}
+	}
+
 	var firstErr error
 	if segSeq != 0 {
 		if err := os.Remove(segPath(l.dir, segSeq)); err != nil && !os.IsNotExist(err) {
@@ -347,12 +404,18 @@ func (l *Log) Close() error {
 	if l.err == nil {
 		l.err = ErrClosed
 	}
-	f := l.f
-	l.f = nil
+	f, r := l.f, l.reader
+	l.f, l.reader = nil, nil
 	l.cond.Broadcast()
 	l.mu.Unlock()
 	if f != nil {
 		f.Close()
+	}
+	// The store may still hold this reader; closing it here (after the
+	// serve path is down — Close is the last step of peer shutdown) turns
+	// any straggling disk read into a counted error, not a wrong answer.
+	if r != nil {
+		r.Close()
 	}
 	return cerr
 }
@@ -371,12 +434,15 @@ func (l *Log) Crash() {
 	if l.err == nil {
 		l.err = ErrClosed
 	}
-	f := l.f
-	l.f = nil
+	f, r := l.f, l.reader
+	l.f, l.reader = nil, nil
 	l.cond.Broadcast()
 	l.mu.Unlock()
 	if f != nil {
 		f.Close()
+	}
+	if r != nil {
+		r.Close()
 	}
 }
 

@@ -92,6 +92,15 @@ type LiveConfig struct {
 	// records (default wal.DefaultCompactEvery); negative disables
 	// automatic compaction. Effective only with DataDir.
 	CompactEvery int
+	// MemLimit bounds the descriptor store to that many resident
+	// descriptors. With DataDir set it also turns on segment
+	// read-through: the in-memory store becomes a cache over the sealed
+	// segment, evicted descriptors are re-read from disk on demand, and
+	// the peer serves working sets larger than MemLimit without losing
+	// answers (see docs/STORAGE.md). Without DataDir it is a plain LRU
+	// cap — overflowing descriptors are dropped, the paper's cache
+	// model. 0 means unbounded.
+	MemLimit int
 }
 
 func orDefault(s, def string) string {
@@ -170,15 +179,16 @@ func StartPeer(listenAddr, bootstrap string, cfg LiveConfig) (*LivePeer, error) 
 		caller = transport.NewRetryCaller(caller, rc)
 	}
 	p, err := peer.New(addr, caller, peer.Config{
-		Scheme:       raw.Compiled(),
-		Measure:      cfg.Measure,
-		Schema:       cfg.Schema,
-		Replicas:     cfg.Replicas,
-		LoadAware:    cfg.LoadAware,
-		HotReplicas:  cfg.HotReplicas,
-		HotThreshold: cfg.HotThreshold,
-		SigCache:     cfg.SigCache,
-		HashWorkers:  cfg.HashWorkers,
+		Scheme:        raw.Compiled(),
+		Measure:       cfg.Measure,
+		Schema:        cfg.Schema,
+		Replicas:      cfg.Replicas,
+		LoadAware:     cfg.LoadAware,
+		HotReplicas:   cfg.HotReplicas,
+		HotThreshold:  cfg.HotThreshold,
+		SigCache:      cfg.SigCache,
+		HashWorkers:   cfg.HashWorkers,
+		CacheCapacity: cfg.MemLimit,
 		Chord: chord.Config{
 			DisableRerouting: cfg.DisableRerouting,
 			Stats:            stats,
@@ -208,11 +218,32 @@ func StartPeer(listenAddr, bootstrap string, cfg LiveConfig) (*LivePeer, error) 
 			lp.caller.Close()
 			return nil, err
 		}
-		lg, rec, err := wal.Open(wal.Options{
+		opts := wal.Options{
 			Dir:          cfg.DataDir,
 			Fsync:        mode,
 			CompactEvery: cfg.CompactEvery,
-		}, wal.StoreRestorer(p.Store()))
+		}
+		if cfg.MemLimit > 0 {
+			// Bounded + durable: serve the working set from disk. The
+			// sealed segment becomes the store's read-through tier; the
+			// OnSegment hook runs before WAL replay so replayed records
+			// land as pinned overlay entries, and each compaction swaps
+			// the new segment in.
+			st := p.Store()
+			opts.ReadThrough = true
+			opts.OnSegment = func(r *wal.SegmentReader) error {
+				if r == nil {
+					st.SetSegments(nil)
+				} else {
+					st.SetSegments(r)
+				}
+				return nil
+			}
+			opts.OnSwap = func(r *wal.SegmentReader, upto uint64) {
+				st.SwapSegments(r, upto)
+			}
+		}
+		lg, rec, err := wal.Open(opts, wal.StoreRestorer(p.Store()))
 		if err != nil {
 			ln.Close()
 			lp.caller.Close()
@@ -365,14 +396,19 @@ func (lp *LivePeer) Status() obs.NodeStatus {
 	}
 	if ws, ok := lp.Durable(); ok {
 		st.Durable = &obs.DurableStatus{
-			Dir:        ws.Dir,
-			Fsync:      ws.Fsync,
-			ActiveSeq:  ws.ActiveSeq,
-			SegmentSeq: ws.SegmentSeq,
-			Appended:   ws.Appended,
-			Durable:    ws.Durable,
-			SinceFold:  ws.SinceFold,
-			Err:        ws.Err,
+			Dir:          ws.Dir,
+			Fsync:        ws.Fsync,
+			ActiveSeq:    ws.ActiveSeq,
+			SegmentSeq:   ws.SegmentSeq,
+			Appended:     ws.Appended,
+			Durable:      ws.Durable,
+			SinceFold:    ws.SinceFold,
+			Err:          ws.Err,
+			ReadThrough:  lp.recovery.ReadThrough,
+			IndexRebuilt: lp.recovery.IndexRebuilt,
+		}
+		if lp.recovery.ReadThrough {
+			st.Durable.Resident = lp.peer.Store().MemLen()
 		}
 	}
 	return st

@@ -1,0 +1,142 @@
+// Command benchmerge folds `go test -bench` output into a JSON benchmark
+// report without disturbing the report's other keys.
+//
+//	go test -run '^$' -bench 'BenchmarkSegment' -benchmem ./internal/wal \
+//	    | go run ./tools/benchmerge -out BENCH_load.json -key segment_reads
+//
+// It parses the standard benchmark result lines from stdin, normalizes
+// them into {iters, ns_per_op, bytes_per_op, allocs_per_op} records, and
+// writes them under -key in -out, creating the file if needed and
+// preserving every other top-level key. When both an *Indexed and a
+// *FullScan variant of the same benchmark are present, it also records
+// their ns/op ratio — the before/after speedup for the read path.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// benchResult is one parsed benchmark line.
+type benchResult struct {
+	Iters       int64   `json:"iters"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// parseLine parses a `BenchmarkName-N  iters  X ns/op  [Y B/op  Z allocs/op]`
+// line, returning the bare benchmark name (GOMAXPROCS suffix stripped)
+// and false when the line is not a benchmark result.
+func parseLine(line string) (string, benchResult, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return "", benchResult{}, false
+	}
+	name := strings.TrimPrefix(fields[0], "Benchmark")
+	if i := strings.LastIndexByte(name, '-'); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	var r benchResult
+	var err error
+	if r.Iters, err = strconv.ParseInt(fields[1], 10, 64); err != nil {
+		return "", benchResult{}, false
+	}
+	ok := false
+	for i := 2; i+1 < len(fields); i += 2 {
+		v := fields[i]
+		switch fields[i+1] {
+		case "ns/op":
+			r.NsPerOp, err = strconv.ParseFloat(v, 64)
+			ok = err == nil
+		case "B/op":
+			r.BytesPerOp, _ = strconv.ParseInt(v, 10, 64)
+		case "allocs/op":
+			r.AllocsPerOp, _ = strconv.ParseInt(v, 10, 64)
+		}
+	}
+	return name, r, ok
+}
+
+func run(out, key, note string) error {
+	results := make(map[string]benchResult)
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Println(line) // pass through so the run stays visible
+		if name, r, ok := parseLine(line); ok {
+			results[name] = r
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if len(results) == 0 {
+		return fmt.Errorf("no benchmark result lines on stdin")
+	}
+
+	section := map[string]any{"benchmarks": results}
+	if note != "" {
+		section["note"] = note
+	}
+	// A FullScan/Indexed pair is a before/after measurement of the same
+	// operation; record the speedup explicitly.
+	for name, indexed := range results {
+		base, ok := strings.CutSuffix(name, "Indexed")
+		if !ok {
+			continue
+		}
+		if full, ok := results[base+"FullScan"]; ok && indexed.NsPerOp > 0 {
+			section["speedup_indexed_vs_fullscan"] = full.NsPerOp / indexed.NsPerOp
+		}
+	}
+
+	doc := make(map[string]any)
+	if b, err := os.ReadFile(out); err == nil {
+		if err := json.Unmarshal(b, &doc); err != nil {
+			return fmt.Errorf("%s: existing content is not JSON: %w", out, err)
+		}
+	} else if !os.IsNotExist(err) {
+		return err
+	}
+	doc[key] = section
+
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("benchmerge: %d results merged into %s under %q\n", len(results), out, key)
+	return nil
+}
+
+func main() {
+	out := flag.String("out", "BENCH_load.json", "JSON report to merge into")
+	key := flag.String("key", "", "top-level key to write the results under")
+	note := flag.String("note", "", "optional note recorded beside the results")
+	flag.Parse()
+	if *key == "" {
+		fmt.Fprintln(os.Stderr, "benchmerge: -key required")
+		os.Exit(2)
+	}
+	if err := run(*out, *key, *note); err != nil {
+		fmt.Fprintf(os.Stderr, "benchmerge: %v\n", err)
+		os.Exit(1)
+	}
+}
