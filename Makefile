@@ -22,8 +22,9 @@ check:
 	$(MAKE) linkcheck
 	$(MAKE) flagcheck
 	$(MAKE) benchguard
-	$(GO) test -run 'Fuzz' ./internal/transport ./internal/peer ./internal/wal
+	$(GO) test -run 'Fuzz' ./internal/transport ./internal/peer ./internal/wal ./internal/ship
 	$(GO) test -race -run 'TestReplica|TestRecover' ./internal/replica ./internal/sim ./internal/store ./internal/wal
+	$(GO) test -race -run 'TestShip|TestPusher' ./internal/ship
 	$(GO) test -race ./...
 
 # linkcheck verifies every relative link in the repo's markdown files.
@@ -37,9 +38,10 @@ flagcheck:
 
 # benchguard pins the hot-path allocation contracts under -benchmem: a
 # nil span threaded through a hot path, a probe-request binary
-# encode+decode round trip, and a segment point read (bloom check +
-# sparse-index probe + record walk, hit and miss) must all stay at
-# 0 allocs/op.
+# encode+decode round trip, a segment point read (bloom check +
+# sparse-index probe + record walk, hit and miss), and the log-shipping
+# entry-apply path (CRC walk + decode + idempotent store re-apply) must
+# all stay at 0 allocs/op.
 benchguard:
 	@out=$$($(GO) test -run '^$$' -bench BenchmarkDisabledSpan -benchmem ./internal/trace); \
 	if ! echo "$$out" | grep -q '0 allocs/op'; then \
@@ -56,6 +58,11 @@ benchguard:
 		echo "segment probe hot path allocates:"; echo "$$out"; exit 1; \
 	fi; \
 	echo "benchguard: segment probe (hit and miss) holds 0 allocs/op"
+	@out=$$($(GO) test -run '^$$' -bench BenchmarkShipApply -benchmem ./internal/ship); \
+	if ! echo "$$out" | grep -q '0 allocs/op'; then \
+		echo "ship entry-apply hot path allocates:"; echo "$$out"; exit 1; \
+	fi; \
+	echo "benchguard: ship entry apply holds 0 allocs/op"
 
 # trace-demo prints a hop-by-hop span tree for one query on a simulated
 # 8-peer ring — the quickest way to see the observability layer.

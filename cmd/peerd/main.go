@@ -17,6 +17,13 @@
 // the descriptors it held instead of an empty store. See
 // docs/DURABILITY.md for the on-disk format and operator runbook.
 //
+// A durable peer can also ship its log: -follow OWNER tails that peer's
+// WAL (seeding from its sealed segment when too far behind) so this
+// peer's store converges to a byte-identical image of the owner's;
+// -ship-retain bounds the WAL bytes kept for follower cursors; and
+// -backup-to mirrors every sealed segment into a directory that
+// cmd/walctl can verify and restore offline.
+//
 // With -debug-addr the daemon also serves an HTTP debug endpoint:
 // /debug/vars (expvar JSON including the full p2prange metrics snapshot —
 // route.*, sig.*, chord.*, peer.*, transport.* families), /debug/pprof
@@ -83,6 +90,10 @@ func main() {
 		fsync        = flag.String("fsync", "always", "durability barrier with -data-dir: always (fsync before ack) | off (page cache)")
 		compactEvery = flag.Int("compact-every", 0, "fold WAL into a segment after this many records (0: default 4096; <0 disables)")
 		memLimit     = flag.Int("mem-limit", 0, "max descriptors resident in memory; with -data-dir overflow is served from segments (read-through), without it overflow is dropped (LRU); 0 unbounded")
+
+		follow     = flag.String("follow", "", "tail that peer's WAL (log shipping): seed from its segment, then apply its record stream")
+		shipRetain = flag.Int64("ship-retain", 0, "WAL bytes kept past a fold for follower cursors (0: 64MiB default; <0 retains nothing)")
+		backupTo   = flag.String("backup-to", "", "mirror every sealed segment into this directory (restore with walctl restore)")
 	)
 	var publishes publishFlags
 	flag.Var(&publishes, "publish",
@@ -116,6 +127,9 @@ func main() {
 		Fsync:            *fsync,
 		CompactEvery:     *compactEvery,
 		MemLimit:         *memLimit,
+		Follow:           *follow,
+		ShipRetain:       *shipRetain,
+		BackupTo:         *backupTo,
 	}
 	cfg.Stabilize.RepairEvery = *repairEvery
 	if *drop > 0 {
@@ -135,6 +149,9 @@ func main() {
 			log.Printf("peerd: read-through on: resident cap %d descriptors, %d on segment (index rebuilt: %v)",
 				*memLimit, rec.SegmentRecords, rec.IndexRebuilt)
 		}
+	}
+	if *follow != "" {
+		log.Printf("peerd: following %s (log shipping)", *follow)
 	}
 	if *debugAddr != "" {
 		startDebugServer(*debugAddr, lp)

@@ -147,8 +147,17 @@ func render(v obs.ClusterView, prev map[string]obs.NodeStatus, errs []string, cl
 		r.LookupP50US, r.LookupP95US, r.LookupP99US)
 	fmt.Fprintf(&b, "  sig-hit  %.1f%%   lookup-success %.1f%%   transport-errors %.2f%%\n",
 		100*r.SigHitRate, 100*r.LookupSuccessRate, 100*r.TransportErrorRate)
-	fmt.Fprintf(&b, "  replica  repaired=%d sync-rounds=%d promotions=%d\n\n",
+	fmt.Fprintf(&b, "  replica  repaired=%d sync-rounds=%d promotions=%d\n",
 		r.ReplicaRepaired, r.ReplicaSyncRounds, r.ReplicaPromotions)
+	g := v.Global
+	if g.Counters["ship.push_records"]+g.Counters["ship.applied_records"]+
+		g.Counters["ship.snapshot_seeds"]+g.Counters["replica.ship_synced"] > 0 {
+		fmt.Fprintf(&b, "  ship     pushed=%d applied=%d seeds=%d resets=%d digest-fallbacks=%d max-lag=%s\n",
+			g.Counters["ship.push_records"], g.Counters["ship.applied_records"],
+			g.Counters["ship.snapshot_seeds"], g.Counters["ship.cursor_resets"],
+			g.Counters["replica.ship_fallbacks"], fmtBytes(g.Gauges["ship.max_lag_bytes"]))
+	}
+	b.WriteString("\n")
 
 	nodes := append([]obs.NodeStatus(nil), v.Nodes...)
 	sort.Slice(nodes, func(i, j int) bool { return nodes[i].Served > nodes[j].Served })
@@ -164,15 +173,48 @@ func render(v obs.ClusterView, prev map[string]obs.NodeStatus, errs []string, cl
 		if !n.Stable {
 			state = "stabilizing"
 		}
+		if n.Ship != nil {
+			// Follower peers show who they tail and where the state
+			// machine sits (snapshot seed vs record tail).
+			state += fmt.Sprintf("  %s←%s", n.Ship.State, n.Ship.Owner)
+		}
 		id := n.Ref
 		if i := strings.IndexByte(id, '@'); i > 0 {
 			id = id[:i]
 		}
 		fmt.Fprintf(&b, "  %-22s %-10s %8d %8s %8d %8s  %s\n",
 			n.Addr, id, n.Stored, dStored, n.Served, dServed, state)
+		if d := n.Durable; d != nil && (len(d.Followers) > 0 || d.RetainedBytes > 0) {
+			// Retention pressure and per-follower lag, indented under
+			// the owning peer.
+			fmt.Fprintf(&b, "  %24s wal=%s seg=%s retained=%s\n", "",
+				fmtBytes(d.WALBytes), fmtBytes(d.SegmentBytes), fmtBytes(d.RetainedBytes))
+			for _, f := range d.Followers {
+				phase := "tail"
+				if f.Snapshot {
+					phase = "snapshot"
+				}
+				fmt.Fprintf(&b, "  %24s follower %s cursor=%d:%d lag=%s (%s)\n", "",
+					f.Addr, f.Seq, f.Off, fmtBytes(f.LagBytes), phase)
+			}
+		}
 	}
 	for _, e := range errs {
 		fmt.Fprintf(&b, "  unreachable: %s\n", e)
 	}
 	os.Stdout.WriteString(b.String())
+}
+
+// fmtBytes renders a byte count with a binary unit suffix.
+func fmtBytes(n int64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.1fGiB", float64(n)/(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1fMiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1fKiB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%dB", n)
+	}
 }

@@ -37,7 +37,8 @@ func ChurnResilience(p Params) (*Table, error) {
 		ID:    "churn",
 		Title: "Lookup availability under churn: fault tolerance on vs off",
 		Columns: []string{"peers", "crashes", "drop%", "mode", "success%", "retries", "reroutes", "injected",
-			"held", "recovered", "backfilled", "lost", "recovery", "recall%", "p99", "disk/q"},
+			"held", "recovered", "backfilled", "lost", "recovery", "recall%", "p99", "disk/q",
+			"sync-recs", "sync-rows", "sync-KB", "ident"},
 	}
 	n := p.ClusterN
 	if n < 16 {
@@ -46,6 +47,10 @@ func ChurnResilience(p Params) (*Table, error) {
 	lookups := p.Queries
 	if lookups <= 0 {
 		lookups = 500
+	}
+	shipMissed := lookups / 10
+	if shipMissed < 10 {
+		shipMissed = 10
 	}
 	cfg := sim.ChurnConfig{
 		N:       n,
@@ -56,8 +61,10 @@ func ChurnResilience(p Params) (*Table, error) {
 	t.Notes = fmt.Sprintf("%d lookups, %d-peer ring, crashes spread across the run, identical seeds per mode; "+
 		"restart rows: %d descriptors published, 1 peer crashed and restarted (cold vs WAL replay); "+
 		"resident rows: 1 durable peer rebooted with its memory capped at the named fraction of the working set, "+
-		"overflow served from the sealed segment — recall%% is byte-identity against the unbounded reboot",
-		lookups, n, lookups)
+		"overflow served from the sealed segment — recall%% is byte-identity against the unbounded reboot; "+
+		"ship rows: a follower missing %d of %d writes converges by digest exchange vs WAL tail vs snapshot+tail — "+
+		"ident is byte-identity against local recovery of the owner's directory",
+		lookups, n, lookups, shipMissed, lookups+shipMissed)
 	for _, ft := range []bool{true, false} {
 		cfg.FaultTolerance = ft
 		res, err := sim.RunChurn(cfg)
@@ -78,6 +85,7 @@ func ChurnResilience(p Params) (*Table, error) {
 			fmt.Sprintf("%d", res.Stats.Rerouted),
 			fmt.Sprintf("%d", res.Injected),
 			"-", "-", "-", "-", "-", "-", "-", "-",
+			"-", "-", "-", "-",
 		)
 	}
 	for _, durable := range []bool{false, true} {
@@ -117,6 +125,7 @@ func ChurnResilience(p Params) (*Table, error) {
 			fmt.Sprintf("%d", res.Lost),
 			recovery,
 			"-", "-", "-",
+			"-", "-", "-", "-",
 		)
 	}
 
@@ -157,6 +166,52 @@ func ChurnResilience(p Params) (*Table, error) {
 			recall,
 			res.P99.Round(time.Microsecond).String(),
 			fmt.Sprintf("%.2f", res.DiskPerQuery()),
+			"-", "-", "-", "-",
+		)
+	}
+
+	// Ship ablation: a follower that synced once, missed a small batch
+	// of writes, and converges again three ways. sync-recs is what moved
+	// (records or pushed descriptors), sync-rows the digest's version-
+	// vector rows (the O(store) term the log-shipping path eliminates),
+	// ident the byte-identity shadow check against local recovery.
+	for _, mode := range []string{sim.ShipModeDigest, sim.ShipModeTail, sim.ShipModeSnapshot} {
+		odir, err := os.MkdirTemp("", "p2prange-ship-o-")
+		if err != nil {
+			return nil, err
+		}
+		defer os.RemoveAll(odir)
+		fdir, err := os.MkdirTemp("", "p2prange-ship-f-")
+		if err != nil {
+			return nil, err
+		}
+		defer os.RemoveAll(fdir)
+		res, err := sim.RunShip(sim.ShipConfig{
+			Base: lookups, Missed: shipMissed, Mode: mode,
+			OwnerDir: odir, FollowerDir: fdir, Seed: p.Seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		ident := "no"
+		if res.Identical {
+			ident = "yes"
+		}
+		rows := "-"
+		if mode == sim.ShipModeDigest {
+			rows = fmt.Sprintf("%d", res.DigestRows)
+		}
+		t.AddRow(
+			"2", "0", "0", "ship-"+mode,
+			"-", "-", "-", "-",
+			fmt.Sprintf("%d", res.Held),
+			"-", "-", "-",
+			res.Elapsed.Round(10*time.Microsecond).String(),
+			"-", "-", "-",
+			fmt.Sprintf("%d", res.SyncRecords),
+			rows,
+			fmt.Sprintf("%.1f", float64(res.SyncBytes)/1024),
+			ident,
 		)
 	}
 	return t, nil

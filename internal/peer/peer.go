@@ -445,6 +445,15 @@ func (p *Peer) RepairReplicas() replica.SyncStats {
 	return p.replica.Sync()
 }
 
+// SetShipSync installs the log-shipping fast path for replica
+// anti-entropy (see replica.ShipFunc): full-replica successors receive
+// the WAL delta instead of a digest walk. No-op without replication.
+func (p *Peer) SetShipSync(f replica.ShipFunc) {
+	if p.replica != nil {
+		p.replica.SetShip(f)
+	}
+}
+
 // RegisterAux installs an auxiliary protocol handler, consulted for
 // request types the core protocol does not recognize.
 func (p *Peer) RegisterAux(h AuxHandler) {

@@ -1,6 +1,7 @@
 package replica
 
 import (
+	"sync"
 	"sync/atomic"
 
 	"p2prange/internal/chord"
@@ -32,6 +33,8 @@ var (
 	metSelections = metrics.Default.Counter("replica.selections")
 	metDiverted   = metrics.Default.Counter("replica.diverted")
 	metFallbacks  = metrics.Default.Counter("replica.fallbacks")
+	metShipSynced = metrics.Default.Counter("replica.ship_synced")
+	metShipFellBk = metrics.Default.Counter("replica.ship_fallbacks")
 )
 
 // Wire messages of the replica protocol. The peer layer dispatches them
@@ -112,6 +115,12 @@ type Deps struct {
 	Call func(to chord.Ref, req any) (any, error)
 }
 
+// ShipFunc is the log-shipping fast path for one successor: push the
+// WAL records written since the last round and report (records shipped,
+// converged). ok=false demotes that successor to a digest exchange this
+// round — ship is the common case, digests the repair of last resort.
+type ShipFunc func(succ chord.Ref) (pushed int, ok bool)
+
 // Manager runs one peer's side of the replication subsystem: stamping
 // and pushing copies on publish, promoting hot buckets, answering load
 // probes, and repairing replicas by anti-entropy. All methods are safe
@@ -123,6 +132,24 @@ type Manager struct {
 	deps    Deps
 	tracker *Tracker
 	ver     atomic.Uint64
+
+	shipMu sync.RWMutex
+	ship   ShipFunc
+}
+
+// SetShip installs the log-shipping sync path. It is attached after
+// construction because the WAL (the shipped log) opens only once the
+// peer's store has been recovered.
+func (m *Manager) SetShip(f ShipFunc) {
+	m.shipMu.Lock()
+	m.ship = f
+	m.shipMu.Unlock()
+}
+
+func (m *Manager) shipFunc() ShipFunc {
+	m.shipMu.RLock()
+	defer m.shipMu.RUnlock()
+	return m.ship
 }
 
 // NewManager builds a manager for the peer at self over its store.
@@ -219,10 +246,21 @@ type SyncStats struct {
 	Repaired int
 	// Errors counts unreachable successors and failed pushes.
 	Errors int
+	// Shipped is the number of WAL records pushed by log shipping in
+	// place of digest rows.
+	Shipped int
+	// ShipFallbacks counts successors demoted to a digest exchange this
+	// round (fresh pairing, receiver restart, or retention outran the
+	// cursor).
+	ShipFallbacks int
 }
 
-// Sync runs one anti-entropy round: for each successor in the replica
-// set, send the version vector of the owned buckets that successor
+// Sync runs one anti-entropy round. With a ship path installed
+// (SetShip), each full-replica successor is synchronized by pushing the
+// WAL records written since the last round; the digest exchange below
+// runs only when shipping cannot prove convergence. Without one — or
+// for hot-only successors past depth R-1 — it is the classic exchange:
+// send the version vector of the owned buckets that successor
 // should replicate (successor i holds copies of buckets with fan-out
 // > i+1), and push full descriptors for whatever it reports missing.
 // Sync also decays the popularity tracker, so the hot set and the load
@@ -230,9 +268,27 @@ type SyncStats struct {
 func (m *Manager) Sync() SyncStats {
 	metSyncRounds.Inc()
 	m.tracker.Decay()
+	ship := m.shipFunc()
 	var stats SyncStats
 	for i, succ := range m.deps.Successors(m.cfg.RHot - 1) {
 		depth := i + 1 // succ holds copies of buckets with Fanout > depth
+		if ship != nil && depth < m.cfg.R {
+			// Full-replica successor (holds every owned bucket, since
+			// Fanout >= R > depth): ship the WAL delta instead of
+			// walking digests — O(records written) rather than
+			// O(store). Hot-only successors below keep the digest
+			// path; their bucket set shifts with the hot set, which
+			// the log does not encode.
+			pushed, ok := ship(succ)
+			stats.Shipped += pushed
+			if ok {
+				metShipSynced.Inc()
+				stats.Peers++
+				continue
+			}
+			metShipFellBk.Inc()
+			stats.ShipFallbacks++
+		}
 		digest := m.st.Digest(func(id store.ID) bool {
 			return m.deps.Owns(id) && m.Fanout(id) > depth
 		})

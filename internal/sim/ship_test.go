@@ -1,0 +1,66 @@
+package sim
+
+import "testing"
+
+// TestRunShipModes pins the ablation's shape: tailing costs O(missed)
+// records, the digest exchange carries O(store) rows no matter how small
+// the gap, snapshot seeding streams the whole segment once — and every
+// mode ends byte-identical to a local recovery of the owner's directory.
+func TestRunShipModes(t *testing.T) {
+	const base, missed = 120, 15
+	run := func(mode string) *ShipResult {
+		t.Helper()
+		res, err := RunShip(ShipConfig{Base: base, Missed: missed, Mode: mode,
+			OwnerDir: t.TempDir(), FollowerDir: t.TempDir(), Seed: 7})
+		if err != nil {
+			t.Fatalf("%s: %v", mode, err)
+		}
+		if !res.Identical {
+			t.Fatalf("%s: follower diverged from local recovery", mode)
+		}
+		return res
+	}
+
+	tail := run(ShipModeTail)
+	if tail.SyncRecords != missed {
+		t.Fatalf("tail shipped %d records, want exactly the %d missed", tail.SyncRecords, missed)
+	}
+	if tail.DigestRows != 0 || tail.Snapshots != 0 {
+		t.Fatalf("tail took a detour: rows=%d snaps=%d", tail.DigestRows, tail.Snapshots)
+	}
+
+	dig := run(ShipModeDigest)
+	if dig.DigestRows != dig.Held {
+		t.Fatalf("digest carried %d rows, want the whole store (%d)", dig.DigestRows, dig.Held)
+	}
+	if dig.SyncRecords != missed {
+		t.Fatalf("digest pushed %d descriptors, want %d", dig.SyncRecords, missed)
+	}
+
+	snap := run(ShipModeSnapshot)
+	if snap.Snapshots != 1 {
+		t.Fatalf("snapshot mode took %d seeds, want 1", snap.Snapshots)
+	}
+	if snap.SyncRecords != snap.Held {
+		t.Fatalf("snapshot applied %d records, want the whole store (%d)", snap.SyncRecords, snap.Held)
+	}
+	if snap.SyncBytes <= tail.SyncBytes {
+		t.Fatalf("snapshot (%dB) should cost more than tail (%dB)", snap.SyncBytes, tail.SyncBytes)
+	}
+
+	if tail.SyncBytes*4 >= dig.SyncBytes {
+		t.Fatalf("tail (%dB) should be far cheaper than digest (%dB) at this store/gap ratio",
+			tail.SyncBytes, dig.SyncBytes)
+	}
+}
+
+// TestRunShipValidates covers the config error paths.
+func TestRunShipValidates(t *testing.T) {
+	if _, err := RunShip(ShipConfig{Mode: ShipModeTail}); err == nil {
+		t.Fatal("missing dirs accepted")
+	}
+	if _, err := RunShip(ShipConfig{Mode: "warp",
+		OwnerDir: t.TempDir(), FollowerDir: t.TempDir()}); err == nil {
+		t.Fatal("unknown mode accepted")
+	}
+}

@@ -94,6 +94,10 @@ const (
 
 	// TagReplicaBase is the first tag reserved for the replica protocol.
 	TagReplicaBase uint64 = 48
+
+	// TagShipBase is the first tag reserved for the log-shipping protocol
+	// (internal/ship registers its codecs there).
+	TagShipBase uint64 = 64
 )
 
 // EncodeFunc appends v's payload encoding to b and returns the extended

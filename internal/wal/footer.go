@@ -141,7 +141,11 @@ func parseFooter(data []byte, recStart, footerOff int64) (*segIndex, error) {
 	x.count = int(c.Uvarint())
 	x.dataEnd = int64(c.Uvarint())
 	n := c.Uvarint()
-	if c.Err != nil || x.count < 0 || x.dataEnd <= recStart || x.dataEnd > footerOff {
+	// dataEnd == recStart is legal: an empty segment (a checkpoint of an
+	// empty store, e.g. right after a graceful-leave handoff) seals with
+	// zero put records, so the seal record is the first byte of the
+	// record region.
+	if c.Err != nil || x.count < 0 || x.dataEnd < recStart || x.dataEnd > footerOff {
 		return nil, fmt.Errorf("%w: footer header", ErrCorrupt)
 	}
 	if n > uint64(x.count) || n > uint64(c.Len()) {

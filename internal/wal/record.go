@@ -154,7 +154,13 @@ func appendFramed(b []byte, r *Record) []byte {
 // record, so callers can truncate there. fn returning an error aborts
 // the walk (and is returned verbatim).
 func walkRecords(data []byte, fn func(Record) error) (int, error) {
-	c := transport.NewCursor(nil)
+	return walkRecordsWith(transport.NewCursor(nil), data, fn)
+}
+
+// walkRecordsWith is walkRecords over a caller-owned cursor, so hot
+// paths (the follower's shipped-batch apply) can reuse one cursor and
+// its interner across calls.
+func walkRecordsWith(c *transport.Cursor, data []byte, fn func(Record) error) (int, error) {
 	off := 0
 	for off < len(data) {
 		c.Reset(data[off:])
@@ -186,4 +192,11 @@ func walkRecords(data []byte, fn func(Record) error) (int, error) {
 		off += hdr + int(length)
 	}
 	return off, nil
+}
+
+// AppendFramed appends the full framed form of r — length prefix,
+// checksum, body — to b: the same encoding WAL files hold and the
+// shipping protocol streams, so a receiver can WalkBuffer it.
+func AppendFramed(b []byte, r *Record) []byte {
+	return appendFramed(b, r)
 }

@@ -245,17 +245,27 @@ func Open(opt Options, apply func(Record) error) (*Log, Recovery, error) {
 		f.Close()
 		return fail(err)
 	}
+	retain := opt.ShipRetain
+	if retain == 0 {
+		retain = DefaultShipRetain
+	} else if retain < 0 {
+		retain = 0
+	}
 	l := &Log{
 		dir:          opt.Dir,
 		fsync:        opt.Fsync,
 		compactEvery: opt.CompactEvery,
 		readThrough:  opt.ReadThrough,
 		onSwap:       opt.OnSwap,
+		retainBytes:  retain,
+		onSeal:       opt.OnSeal,
+		onRetainDrop: opt.OnRetainDrop,
 		f:            f,
 		seq:          seq,
 		segSeq:       rec.SegmentSeq,
 		reader:       reader,
 		sinceFold:    rec.Replayed, // unfolded records carried over; fold soon if many
+		durableOff:   headerLen(seq),
 	}
 	l.cond = sync.NewCond(&l.mu)
 

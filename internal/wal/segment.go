@@ -230,6 +230,16 @@ func loadSegment(dir string, seq uint64) ([]Record, error) {
 	if err != nil {
 		return nil, err
 	}
+	return ParseSegment(data, seq)
+}
+
+// ParseSegment validates a full sealed-segment image (as read from disk
+// or reassembled from streamed snapshot chunks) and returns its put
+// records. Same all-or-nothing contract as booting from the file: every
+// record CRC-checked, seal present, seal count matching. This is how a
+// snapshot-seeded follower proves the bytes it received are exactly a
+// bootable segment before applying them.
+func ParseSegment(data []byte, seq uint64) ([]Record, error) {
 	recs, err := parseHeader(data, magicSEG, seq)
 	if err != nil {
 		return nil, err

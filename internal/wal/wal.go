@@ -91,6 +91,19 @@ type Options struct {
 	// is closed after OnSwap returns. ReadThrough only. It runs on the
 	// compaction goroutine, holding no wal locks.
 	OnSwap func(*SegmentReader, uint64)
+	// ShipRetain caps the bytes of folded WAL files kept on disk for
+	// pinned follower cursors (log shipping). Zero means
+	// DefaultShipRetain; negative retains nothing (folded files are
+	// deleted eagerly, the pre-shipping behavior).
+	ShipRetain int64
+	// OnSeal is called after each successful compaction with the new
+	// segment's sequence number, on the compaction goroutine, holding no
+	// wal locks. Used to mirror sealed segments into a backup directory.
+	OnSeal func(seq uint64)
+	// OnRetainDrop is called when a fold (or the ShipRetain budget)
+	// deleted WAL files a follower cursor still pinned, forcing that
+	// follower onto the snapshot path. Compaction goroutine, no locks.
+	OnRetainDrop func(follower string, c Cursor)
 }
 
 // ErrClosed reports use of a closed log.
@@ -113,6 +126,9 @@ type Log struct {
 	compactEvery int // 0 = disabled
 	readThrough  bool
 	onSwap       func(*SegmentReader, uint64) // Options.OnSwap
+	retainBytes  int64                        // Options.ShipRetain (resolved)
+	onSeal       func(uint64)                 // Options.OnSeal
+	onRetainDrop func(string, Cursor)         // Options.OnRetainDrop
 
 	mu         sync.Mutex
 	cond       *sync.Cond
@@ -124,12 +140,15 @@ type Log struct {
 	compacting bool   // a compaction is running outside the lock
 	err        error  // latched IO error; the log is read-only garbage after
 	closed     bool
-	f          *os.File       // active WAL file
-	seq        uint64         // active WAL sequence number
-	segSeq     uint64         // newest sealed segment (0 = none)
-	reader     *SegmentReader // read-through reader over segSeq (ReadThrough only)
-	sinceFold  int            // records in WAL files not yet folded into a segment
-	compactErr string         // last compaction failure, for Stats
+	f          *os.File          // active WAL file
+	seq        uint64            // active WAL sequence number
+	segSeq     uint64            // newest sealed segment (0 = none)
+	reader     *SegmentReader    // read-through reader over segSeq (ReadThrough only)
+	sinceFold  int               // records in WAL files not yet folded into a segment
+	compactErr string            // last compaction failure, for Stats
+	durableOff int64             // committed byte size of the active WAL file
+	pins       map[string]Cursor // follower retention reservations (cursor.go)
+	retained   map[uint64]int64  // folded WAL files kept for pins: seq -> size
 }
 
 // Put journals a descriptor admission or in-place version upgrade.
@@ -231,8 +250,14 @@ func (l *Log) flushLocked() {
 		if l.err == nil {
 			l.err = fmt.Errorf("wal: flush %s: %w", f.Name(), err)
 		}
-	} else if target > l.durable {
-		l.durable = target
+	} else {
+		if target > l.durable {
+			l.durable = target
+		}
+		// Advance the shipping watermark: these bytes are now safe to
+		// stream to followers. Rotation cannot interleave with a flush
+		// (compaction drains first), so the offset tracks l.f.
+		l.durableOff += int64(len(buf))
 	}
 	l.cond.Broadcast()
 }
@@ -315,6 +340,7 @@ func (l *Log) compactOnce() error {
 	old := l.f
 	l.f = nf
 	l.seq = oldSeq + 1
+	l.durableOff = headerLen(oldSeq + 1)
 	l.mu.Unlock()
 
 	// The rotated file must be fully on disk before folding reads it —
@@ -372,7 +398,26 @@ func (l *Log) compactOnce() error {
 			firstErr = err
 		}
 	}
+	// Retention: folded WAL files pinned by a follower cursor survive the
+	// fold (within the ShipRetain budget) so the follower keeps tailing
+	// the same byte stream across the fold; the rest are deleted as
+	// before. A pin the budget evicts strands its follower on the
+	// snapshot path — reported via OnRetainDrop.
+	candidates := make(map[uint64]int64)
 	for seq := segSeq + 1; seq <= oldSeq; seq++ {
+		if fi, err := os.Stat(walPath(l.dir, seq)); err == nil {
+			candidates[seq] = fi.Size()
+		}
+	}
+	l.mu.Lock()
+	// Publish the new segment before deleting its inputs: a shipping
+	// reader that finds a WAL file missing classifies it by segSeq
+	// (<= segSeq: folded away, reseed; > segSeq: never existed, skip),
+	// so the flip must happen first.
+	l.segSeq = oldSeq
+	remove, dropped := l.retentionLocked(candidates)
+	l.mu.Unlock()
+	for _, seq := range remove {
 		if err := os.Remove(walPath(l.dir, seq)); err != nil && !os.IsNotExist(err) && firstErr == nil {
 			firstErr = err
 		}
@@ -380,10 +425,16 @@ func (l *Log) compactOnce() error {
 	if err := syncDir(l.dir); err != nil && firstErr == nil {
 		firstErr = err
 	}
+	for follower, c := range dropped {
+		metRetainDrops.Inc()
+		if l.onRetainDrop != nil {
+			l.onRetainDrop(follower, c)
+		}
+	}
 
-	l.mu.Lock()
-	l.segSeq = oldSeq
-	l.mu.Unlock()
+	if l.onSeal != nil {
+		l.onSeal(oldSeq)
+	}
 	return firstErr
 }
 
@@ -448,14 +499,16 @@ func (l *Log) Crash() {
 
 // Stats is a point-in-time durability summary, surfaced on /status.
 type Stats struct {
-	Dir        string `json:"dir"`
-	Fsync      string `json:"fsync"`
-	ActiveSeq  uint64 `json:"active_seq"`
-	SegmentSeq uint64 `json:"segment_seq"`
-	Appended   uint64 `json:"appended"`
-	Durable    uint64 `json:"durable"`
-	SinceFold  int    `json:"since_fold"`
-	Err        string `json:"err,omitempty"`
+	Dir           string `json:"dir"`
+	Fsync         string `json:"fsync"`
+	ActiveSeq     uint64 `json:"active_seq"`
+	SegmentSeq    uint64 `json:"segment_seq"`
+	Appended      uint64 `json:"appended"`
+	Durable       uint64 `json:"durable"`
+	SinceFold     int    `json:"since_fold"`
+	RetainedBytes int64  `json:"retained_bytes,omitempty"`
+	Pins          int    `json:"pins,omitempty"`
+	Err           string `json:"err,omitempty"`
 }
 
 // Stats reports the log's current state.
@@ -470,6 +523,10 @@ func (l *Log) Stats() Stats {
 		Appended:   l.appended,
 		Durable:    l.durable,
 		SinceFold:  l.sinceFold,
+		Pins:       len(l.pins),
+	}
+	for _, size := range l.retained {
+		st.RetainedBytes += size
 	}
 	if l.err != nil && l.err != ErrClosed {
 		st.Err = l.err.Error()

@@ -319,3 +319,46 @@ func TestStatsOnStatusFields(t *testing.T) {
 		t.Errorf("Stats = %+v", s)
 	}
 }
+
+// TestEmptySegmentVerifiesClean pins the dataEnd == recStart boundary: a
+// checkpoint of an empty store (the shape a graceful-leave handoff
+// leaves behind) seals a segment with zero put records, and offline
+// verification must accept its footer. Regression: parseFooter rejected
+// dataEnd == recStart, so walctl verify flagged every post-handoff
+// checkpoint as footer-damaged.
+func TestEmptySegmentVerifiesClean(t *testing.T) {
+	dir := t.TempDir()
+	st, lg, _ := openStore(t, dir, Options{CompactEvery: -1})
+	for i := 0; i < 3; i++ {
+		st.Put(uint32(i), testPart(i))
+	}
+	st.ExtractArc(0, 0) // journaled whole-circle drop: the handoff shape
+	if err := lg.Commit(); err != nil {
+		t.Fatalf("Commit: %v", err)
+	}
+	if err := lg.Checkpoint(); err != nil {
+		t.Fatalf("Checkpoint: %v", err)
+	}
+	if err := lg.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	rep, err := InspectDir(dir, nil)
+	if err != nil {
+		t.Fatalf("InspectDir: %v", err)
+	}
+	var sawSegment bool
+	for _, f := range rep.Files {
+		if f.Kind == "segment" {
+			sawSegment = true
+			if f.Records != 0 {
+				t.Errorf("%s: %d records, want 0", f.Name, f.Records)
+			}
+		}
+	}
+	if !sawSegment {
+		t.Fatal("checkpoint wrote no segment")
+	}
+	if !rep.Clean() {
+		t.Fatalf("empty checkpoint reported damage: %+v", rep.Files)
+	}
+}

@@ -3,6 +3,7 @@ package p2prange
 import (
 	"errors"
 	"fmt"
+	"log"
 	"math/rand"
 	"net"
 	"sync"
@@ -15,6 +16,7 @@ import (
 	"p2prange/internal/peer"
 	"p2prange/internal/query"
 	"p2prange/internal/relation"
+	"p2prange/internal/ship"
 	"p2prange/internal/store"
 	"p2prange/internal/trace"
 	"p2prange/internal/transport"
@@ -92,6 +94,24 @@ type LiveConfig struct {
 	// records (default wal.DefaultCompactEvery); negative disables
 	// automatic compaction. Effective only with DataDir.
 	CompactEvery int
+	// Follow subscribes this peer to another peer's WAL (log shipping):
+	// it seeds from the owner's sealed segment when too far behind, then
+	// tails the acked record stream, applying each record through the
+	// same journaled path recovery uses — a shipped store is
+	// byte-identical to a locally recovered one. The value is the
+	// owner's transport address. Usually combined with DataDir so the
+	// copy is itself durable. See docs/DURABILITY.md.
+	Follow string
+	// ShipRetain bounds the extra WAL bytes kept past a fold only to let
+	// follower cursors keep tailing (0: default 64MiB; negative retains
+	// nothing — every fold forces followers onto the snapshot path).
+	// Effective only with DataDir.
+	ShipRetain int64
+	// BackupTo mirrors every sealed segment into that directory — once
+	// at startup and after each fold — using the same chunked,
+	// CRC-verified reader the shipping protocol streams. Restore with
+	// `walctl restore`. Effective only with DataDir.
+	BackupTo string
 	// MemLimit bounds the descriptor store to that many resident
 	// descriptors. With DataDir set it also turns on segment
 	// read-through: the in-memory store becomes a cache over the sealed
@@ -135,6 +155,9 @@ type LivePeer struct {
 	schema     *relation.Schema
 	wal        *wal.Log     // nil when DataDir is unset
 	recovery   wal.Recovery // what boot-time replay found
+	shipSvc    *ship.Service
+	pusher     *ship.Pusher   // nil unless DataDir and Replicas
+	follower   *ship.Follower // nil unless Follow
 
 	coalesce *query.Coalescer // shared singleflight for untraced SQL leaf fetches
 
@@ -222,6 +245,34 @@ func StartPeer(listenAddr, bootstrap string, cfg LiveConfig) (*LivePeer, error) 
 			Dir:          cfg.DataDir,
 			Fsync:        mode,
 			CompactEvery: cfg.CompactEvery,
+			ShipRetain:   cfg.ShipRetain,
+			OnRetainDrop: func(follower string, c wal.Cursor) {
+				// Satellite of the shipping protocol: the operator should
+				// know when the retention budget, not the follower's own
+				// pace, forces a full reseed.
+				log.Printf("p2prange: %s: ship-retain budget dropped follower %s at %s; it will reseed from the segment",
+					addr, follower, c)
+			},
+		}
+		if cfg.BackupTo != "" {
+			var backupMu sync.Mutex
+			opts.OnSeal = func(uint64) {
+				// Compaction calls OnSeal inline; mirror in the background
+				// so a slow backup disk never stalls the append path.
+				go func() {
+					backupMu.Lock()
+					defer backupMu.Unlock()
+					lg := lp.wal // set before serving starts; OnSeal fires only after
+					if lg == nil {
+						return
+					}
+					if seq, n, err := lg.BackupSegment(cfg.BackupTo); err != nil {
+						log.Printf("p2prange: %s: segment backup to %s: %v", addr, cfg.BackupTo, err)
+					} else if n > 0 {
+						log.Printf("p2prange: %s: backed up segment %d (%d bytes) to %s", addr, seq, n, cfg.BackupTo)
+					}
+				}()
+			}
 		}
 		if cfg.MemLimit > 0 {
 			// Bounded + durable: serve the working set from disk. The
@@ -254,6 +305,51 @@ func StartPeer(listenAddr, bootstrap string, cfg LiveConfig) (*LivePeer, error) 
 		lp.wal = lg
 		lp.recovery = rec
 	}
+
+	// Log shipping. Every peer answers the receiving half (pushed record
+	// batches from a replica owner); with a WAL it also serves the full
+	// protocol — follower subscriptions, entry streams, snapshot seeds.
+	var commit func() error
+	if lp.wal != nil {
+		commit = lp.wal.Commit
+	}
+	lp.shipSvc = ship.NewService(ship.ServiceConfig{
+		Log:    lp.wal,
+		Apply:  ship.PutApplier(p.Store()),
+		Commit: commit,
+	})
+	p.RegisterAux(lp.shipSvc.Handle)
+	if lp.wal != nil && cfg.Replicas > 0 {
+		// Replica anti-entropy ships the WAL delta to full-replica
+		// successors; digest exchange remains the repair of last resort.
+		// Only records this peer owns ship onward — replicated copies
+		// must not cascade replica-to-replica.
+		pusher := ship.NewPusher(lp.wal, addr, func(r wal.Record) bool {
+			return p.Node().Owns(uint32(r.ID))
+		})
+		p.SetShipSync(func(succ chord.Ref) (int, bool) {
+			return pusher.SyncTo(succ.Addr, func(req any) (any, error) {
+				return p.Call(succ, req)
+			})
+		})
+		lp.pusher = pusher
+	}
+	if cfg.Follow != "" {
+		owner := cfg.Follow
+		lp.follower = ship.NewFollower(ship.FollowerConfig{
+			Owner: owner,
+			Self:  addr,
+			Call:  func(req any) (any, error) { return caller.Call(owner, req) },
+			// Full-fidelity apply — puts, evicts, arc drops — through the
+			// store with its journal attached, so the follower's own WAL
+			// records exactly what a local recovery would replay.
+			Apply:  wal.StoreRestorer(p.Store()),
+			Reset:  func() error { p.Store().ExtractArc(0, 0); return nil },
+			Commit: commit,
+			Dir:    cfg.DataDir,
+		})
+	}
+
 	lp.server = transport.ServeTCPTraced(ln, p.HandleTraced)
 	if bootstrap != "" {
 		if err := p.Node().Join(bootstrap); err != nil {
@@ -268,6 +364,18 @@ func StartPeer(listenAddr, bootstrap string, cfg LiveConfig) (*LivePeer, error) 
 		mcfg.Repair = func() { p.RepairReplicas() }
 	}
 	lp.maintainer = chord.StartMaintainer(p.Node(), mcfg)
+	if lp.follower != nil {
+		lp.follower.Run()
+	}
+	if lp.wal != nil && cfg.BackupTo != "" {
+		// Startup backup: whatever segment recovery booted from is
+		// mirrored even if the process never folds again.
+		if seq, n, err := lp.wal.BackupSegment(cfg.BackupTo); err != nil {
+			log.Printf("p2prange: %s: segment backup to %s: %v", addr, cfg.BackupTo, err)
+		} else if n > 0 {
+			log.Printf("p2prange: %s: backed up segment %d (%d bytes) to %s", addr, seq, n, cfg.BackupTo)
+		}
+	}
 	return lp, nil
 }
 
@@ -410,6 +518,33 @@ func (lp *LivePeer) Status() obs.NodeStatus {
 		if lp.recovery.ReadThrough {
 			st.Durable.Resident = lp.peer.Store().MemLen()
 		}
+		du := lp.wal.Usage()
+		st.Durable.WALBytes = du.WALBytes
+		st.Durable.SegmentBytes = du.SegmentBytes
+		st.Durable.RetainedBytes = du.RetainedBytes
+		st.Durable.OldestWALSeq = du.OldestWALSeq
+		for _, f := range lp.shipSvc.Followers() {
+			st.Durable.Followers = append(st.Durable.Followers, obs.FollowerStatus{
+				Addr:     f.Addr,
+				Seq:      f.Cursor.Seq,
+				Off:      f.Cursor.Off,
+				LagBytes: f.LagBytes,
+				Snapshot: f.Snapshot,
+			})
+		}
+	}
+	if lp.follower != nil {
+		fs := lp.follower.Stats()
+		st.Ship = &obs.ShipStatus{
+			Owner:     fs.Owner,
+			State:     fs.State,
+			Seq:       fs.Cursor.Seq,
+			Off:       fs.Cursor.Off,
+			Applied:   fs.Applied,
+			Snapshots: fs.Snapshots,
+			Resets:    fs.Resets,
+			LastError: fs.LastError,
+		}
 	}
 	return st
 }
@@ -547,6 +682,9 @@ func (lp *LivePeer) Leave() error {
 // graceful hand-off, then checkpoints and closes the write-ahead log (if
 // any) so the next boot recovers from a sealed segment alone.
 func (lp *LivePeer) Close() {
+	if lp.follower != nil {
+		lp.follower.Stop()
+	}
 	if lp.maintainer != nil {
 		lp.maintainer.Stop()
 	}
