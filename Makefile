@@ -22,7 +22,7 @@ check:
 	$(MAKE) linkcheck
 	$(MAKE) flagcheck
 	$(MAKE) benchguard
-	$(GO) test -run 'Fuzz' ./internal/transport ./internal/peer ./internal/wal ./internal/ship
+	$(GO) test -run 'Fuzz' ./internal/transport ./internal/peer ./internal/wal ./internal/ship ./internal/obs
 	$(GO) test -race -run 'TestReplica|TestRecover' ./internal/replica ./internal/sim ./internal/store ./internal/wal
 	$(GO) test -race -run 'TestShip|TestPusher' ./internal/ship
 	$(GO) test -race ./...
@@ -63,6 +63,17 @@ benchguard:
 		echo "ship entry-apply hot path allocates:"; echo "$$out"; exit 1; \
 	fi; \
 	echo "benchguard: ship entry apply holds 0 allocs/op"
+	@out=$$($(GO) test -run '^$$' -bench BenchmarkFlightOff -benchmem ./internal/flight); \
+	if ! echo "$$out" | grep -q '0 allocs/op'; then \
+		echo "disabled flight recorder allocates:"; echo "$$out"; exit 1; \
+	fi; \
+	echo "benchguard: disabled flight recorder holds 0 allocs/op"
+	@out=$$($(GO) test -run '^$$' -bench BenchmarkFlightRecord -benchmem ./internal/flight); \
+	allocs=$$(echo "$$out" | grep 'BenchmarkFlightRecord' | awk '{for (i=1;i<NF;i++) if ($$(i+1)=="allocs/op") print $$i}'); \
+	if [ -z "$$allocs" ] || [ "$$allocs" -gt 16 ]; then \
+		echo "flight recording exceeds the amortized allocation bound (16 allocs/op):"; echo "$$out"; exit 1; \
+	fi; \
+	echo "benchguard: flight recording amortized at $$allocs allocs/op (bound 16)"
 
 # trace-demo prints a hop-by-hop span tree for one query on a simulated
 # 8-peer ring — the quickest way to see the observability layer.
@@ -75,6 +86,13 @@ trace-demo:
 # spans arrive from remote peers), and prints the rangetop cluster view.
 rangetop-demo:
 	@sh ./tools/rangetop-demo.sh
+
+# flight-demo boots a 3-peer TCP ring (one peer with injected RPC
+# latency), drives a mixed lookup workload with NO tracing flags, and
+# dumps /debug/slow — the flight recorder caught the slow queries after
+# the fact, stitched trees included.
+flight-demo:
+	@sh ./tools/flight-demo.sh
 
 # bench runs the signature-pipeline benchmarks (the performance contract:
 # BenchmarkMinWiseSign vs BenchmarkMinWiseNaive and friends) with

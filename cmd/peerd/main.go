@@ -50,7 +50,9 @@ import (
 	"time"
 
 	"p2prange"
+	"p2prange/internal/flight"
 	"p2prange/internal/metrics"
+	"p2prange/internal/obs"
 	"p2prange/internal/relation"
 	"p2prange/internal/transport"
 )
@@ -94,6 +96,12 @@ func main() {
 		follow     = flag.String("follow", "", "tail that peer's WAL (log shipping): seed from its segment, then apply its record stream")
 		shipRetain = flag.Int64("ship-retain", 0, "WAL bytes kept past a fold for follower cursors (0: 64MiB default; <0 retains nothing)")
 		backupTo   = flag.String("backup-to", "", "mirror every sealed segment into this directory (restore with walctl restore)")
+
+		slowThreshold = flag.Duration("slow-threshold", 0, "flight recorder slow-query cutoff (0: 25ms default)")
+		flightKeep    = flag.Int("flight-keep", 0, "entries pinned per flight-recorder ring: slow, top, errored, hop-heavy (0: 32 default)")
+		flightOff     = flag.Bool("flight-off", false, "disable the always-on flight recorder (/debug/slow serves nothing)")
+		eventsDir     = flag.String("events-dir", "", "directory for the durable cluster event journal events.log (empty: -data-dir; both empty: memory-only ring)")
+		faultDelay    = flag.Duration("fault-delay", 0, "inject this latency into every outgoing RPC (fault testing; pairs with the flight recorder demo)")
 	)
 	var publishes publishFlags
 	flag.Var(&publishes, "publish",
@@ -130,10 +138,18 @@ func main() {
 		Follow:           *follow,
 		ShipRetain:       *shipRetain,
 		BackupTo:         *backupTo,
+		SlowThreshold:    *slowThreshold,
+		FlightKeep:       *flightKeep,
+		FlightOff:        *flightOff,
+		EventsDir:        *eventsDir,
 	}
 	cfg.Stabilize.RepairEvery = *repairEvery
-	if *drop > 0 {
+	if *drop > 0 || *faultDelay > 0 {
 		cfg.Fault = &transport.FaultConfig{Drop: *drop}
+		if *faultDelay > 0 {
+			cfg.Fault.Delay = *faultDelay
+			cfg.Fault.DelayProb = 1
+		}
 	}
 	lp, err := p2prange.StartPeer(*listen, *join, cfg)
 	if err != nil {
@@ -249,12 +265,80 @@ func startDebugServer(addr string, lp *p2prange.LivePeer) {
 		w.WriteHeader(http.StatusServiceUnavailable)
 		fmt.Fprintln(w, "stabilizing")
 	})
+	// /debug/slow dumps the flight recorder's slow ring, newest first,
+	// each entry with its fully stitched span tree — the query that was
+	// slow ten minutes ago, already captured, no flag needed.
+	http.HandleFunc("/debug/slow", func(w http.ResponseWriter, r *http.Request) {
+		serveFlightRing(w, r, lp, flight.RingSlow)
+	})
+	// /debug/flight serves any retention ring (?ring=slow|top|errored|
+	// hops|recent, default recent) plus the recorder's counters. Trees
+	// are included unless ?tree=0.
+	http.HandleFunc("/debug/flight", func(w http.ResponseWriter, r *http.Request) {
+		ring := r.URL.Query().Get("ring")
+		if ring == "" {
+			ring = flight.RingRecent
+		}
+		serveFlightRing(w, r, lp, ring)
+	})
+	// /debug/events serves the cluster event journal, newest first
+	// (?n= bounds the count, default the whole ring).
+	http.HandleFunc("/debug/events", func(w http.ResponseWriter, r *http.Request) {
+		n := 0
+		if s := r.URL.Query().Get("n"); s != "" {
+			n, _ = strconv.Atoi(s)
+		}
+		total, warns, errs := obs.Events.Counts()
+		durable, derr := lp.EventsDurable()
+		out := struct {
+			Total      uint64      `json:"total"`
+			Warns      uint64      `json:"warns"`
+			Errors     uint64      `json:"errors"`
+			Durable    bool        `json:"durable"`
+			DurableErr string      `json:"durable_err,omitempty"`
+			Events     []obs.Event `json:"events"`
+		}{Total: total, Warns: warns, Errors: errs, Durable: durable, Events: obs.Events.Recent(n)}
+		if derr != nil {
+			out.DurableErr = derr.Error()
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(out)
+	})
 	go func() {
-		log.Printf("peerd: debug endpoint on http://%s/debug/vars (pprof at /debug/pprof; /metrics, /metrics/prom, /status, /healthz)", addr)
+		log.Printf("peerd: debug endpoint on http://%s/debug/vars (pprof at /debug/pprof; /metrics, /metrics/prom, /status, /healthz, /debug/slow, /debug/flight, /debug/events)", addr)
 		if err := http.ListenAndServe(addr, nil); err != nil {
 			log.Printf("peerd: debug server: %v", err)
 		}
 	}()
+}
+
+// serveFlightRing writes one flight-recorder ring as JSON: the
+// recorder's counters followed by the ring's entries (newest first;
+// "top" slowest first), each with its rendered span tree unless the
+// request says ?tree=0.
+func serveFlightRing(w http.ResponseWriter, r *http.Request, lp *p2prange.LivePeer, ring string) {
+	rec := lp.Flight()
+	if !rec.On() {
+		http.Error(w, "flight recorder disabled (-flight-off)", http.StatusNotFound)
+		return
+	}
+	withTree := r.URL.Query().Get("tree") != "0"
+	entries := rec.Entries(ring)
+	views := make([]flight.View, 0, len(entries))
+	for _, e := range entries {
+		views = append(views, flight.RenderView(e, withTree))
+	}
+	out := struct {
+		Ring    string        `json:"ring"`
+		Stats   flight.Stats  `json:"stats"`
+		Entries []flight.View `json:"entries"`
+	}{Ring: ring, Stats: rec.Stats(), Entries: views}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(out)
 }
 
 // publishSpec parses "Relation=file.csv:attribute:lo-hi", loads the CSV,

@@ -36,6 +36,7 @@ type loadOptions struct {
 	seed     int64
 	profile  string
 	slo      time.Duration // p99 budget a stage must meet to count as sustained
+	flight   bool          // run the flight-recorder overhead A/B instead of the codec ramp
 }
 
 // sloErrorBudget is the error-rate ceiling for a stage to pass the SLO.
@@ -101,6 +102,9 @@ const loadPartitions = 45
 
 // runLoad executes the whole harness and writes the JSON report.
 func runLoad(opt loadOptions) error {
+	if opt.flight {
+		return runLoadFlight(opt)
+	}
 	codecs := []string{transport.CodecBinary, transport.CodecGob}
 	switch opt.codec {
 	case "both":
@@ -172,21 +176,46 @@ func runLoad(opt loadOptions) error {
 		}
 	}
 	report.DurationSeconds = time.Since(start).Seconds()
-	f, err := os.Create(opt.out)
+	if err := mergeReport(opt.out, report); err != nil {
+		return err
+	}
+	fmt.Printf("load: report written to %s\n", opt.out)
+	return nil
+}
+
+// mergeReport folds doc's top-level keys into the JSON file at path,
+// preserving keys written by other producers (tools/benchmerge's
+// segment_reads, the flight_overhead block, or vice versa) — the same
+// read-merge-write discipline benchmerge itself follows.
+func mergeReport(path string, doc any) error {
+	raw, err := json.Marshal(doc)
+	if err != nil {
+		return err
+	}
+	add := make(map[string]json.RawMessage)
+	if err := json.Unmarshal(raw, &add); err != nil {
+		return err
+	}
+	merged := make(map[string]json.RawMessage)
+	if prev, err := os.ReadFile(path); err == nil {
+		// A corrupt or foreign file is not worth failing the run over;
+		// it is simply replaced.
+		_ = json.Unmarshal(prev, &merged)
+	}
+	for k, v := range add {
+		merged[k] = v
+	}
+	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
 	enc := json.NewEncoder(f)
 	enc.SetIndent("", "  ")
-	if err := enc.Encode(report); err != nil {
+	if err := enc.Encode(merged); err != nil {
 		f.Close()
 		return err
 	}
-	if err := f.Close(); err != nil {
-		return err
-	}
-	fmt.Printf("load: report written to %s\n", opt.out)
-	return nil
+	return f.Close()
 }
 
 // runLoadCodec builds a fresh ring speaking one codec, seeds it, and
@@ -195,7 +224,8 @@ func runLoad(opt loadOptions) error {
 // garbage (deep overload leaves a lot) is not billed to the next.
 func runLoadCodec(codec string, opt loadOptions) (loadCodecReport, error) {
 	cr := loadCodecReport{Codec: codec}
-	peers, err := startLoadRing(codec, opt.peers)
+	// The codec ramp measures the shipped default, recorder included.
+	peers, err := startLoadRing(codec, opt.peers, false)
 	if err != nil {
 		return cr, err
 	}
@@ -236,13 +266,106 @@ func runLoadCodec(codec string, opt loadOptions) (loadCodecReport, error) {
 	return cr, nil
 }
 
+// flightOverheadReport is the flight_overhead block of BENCH_load.json:
+// the same workload driven through two identical rings, recorder off vs
+// recorder on (the shipped default), and the sustained-qps cost of
+// always-on recording.
+type flightOverheadReport struct {
+	FlightOverhead struct {
+		TargetQPS    float64 `json:"target_qps"`
+		Duration     string  `json:"stage_duration"`
+		OffSustained float64 `json:"off_sustained_qps"`
+		OnSustained  float64 `json:"on_sustained_qps"`
+		OffP99US     int64   `json:"off_p99_us"`
+		OnP99US      int64   `json:"on_p99_us"`
+		OverheadPct  float64 `json:"overhead_pct"`
+		// Finished and KeptSlow prove the recorder was actually live
+		// during the "on" run — an overhead number for a recorder that
+		// recorded nothing would be meaningless.
+		Finished    uint64 `json:"finished"`
+		KeptSlow    uint64 `json:"kept_slow"`
+		GeneratedBy string `json:"generated_by"`
+	} `json:"flight_overhead"`
+}
+
+// runLoadFlight measures the flight recorder's cost: two rings differing
+// only in LiveConfig.FlightOff run the same open-loop stage, and the
+// sustained-qps delta is the recorder's overhead. Recorded into the
+// report file without disturbing the codec-ramp keys.
+func runLoadFlight(opt loadOptions) error {
+	qps := float64(opt.qps) * 0.5 // mid-ramp: loaded but not collapsing
+	var sustained [2]float64
+	var p99 [2]int64
+	var finished, keptSlow uint64
+	for variant, off := range []bool{true, false} {
+		name := map[bool]string{true: "flight-off", false: "flight-on"}[off]
+		fmt.Printf("load: %s ring (%d peers) ...\n", name, opt.peers)
+		peers, err := startLoadRing(transport.CodecBinary, opt.peers, off)
+		if err != nil {
+			return fmt.Errorf("%s ring: %w", name, err)
+		}
+		if err := seedLoadRing(peers); err != nil {
+			for _, p := range peers {
+				p.Close()
+			}
+			return err
+		}
+		rng := rand.New(rand.NewSource(opt.seed))
+		warm := warmupDuration
+		if opt.duration < warm {
+			warm = opt.duration
+		}
+		runLoadStage(peers, qps*warmupFraction*4, warm, rng.Int63())
+		runtime.GC()
+		st := runLoadStage(peers, qps, opt.duration, rng.Int63())
+		sustained[variant] = st.SustainedQPS
+		p99[variant] = st.P99US
+		if !off {
+			for _, p := range peers {
+				fs := p.Flight().Stats()
+				finished += fs.Finished
+				keptSlow += fs.KeptSlow
+			}
+		}
+		for _, p := range peers {
+			p.Close()
+		}
+		fmt.Printf("load: %-10s sustained %7.1f qps  p99=%s  errs=%d/%d\n",
+			name, st.SustainedQPS, time.Duration(st.P99US)*time.Microsecond, st.Errors, st.Issued)
+		runtime.GC()
+		time.Sleep(300 * time.Millisecond)
+	}
+
+	var doc flightOverheadReport
+	fo := &doc.FlightOverhead
+	fo.TargetQPS = qps
+	fo.Duration = opt.duration.String()
+	fo.OffSustained = sustained[0]
+	fo.OnSustained = sustained[1]
+	fo.OffP99US = p99[0]
+	fo.OnP99US = p99[1]
+	if sustained[0] > 0 {
+		fo.OverheadPct = 100 * (sustained[0] - sustained[1]) / sustained[0]
+	}
+	fo.Finished = finished
+	fo.KeptSlow = keptSlow
+	fo.GeneratedBy = "rangebench -load -load-flight"
+	if err := mergeReport(opt.out, doc); err != nil {
+		return err
+	}
+	fmt.Printf("load: flight recorder overhead %.2f%% of sustained qps (%d queries recorded, %d kept slow); written to %s\n",
+		fo.OverheadPct, finished, keptSlow, opt.out)
+	return nil
+}
+
 // startLoadRing launches n live TCP peers on loopback and waits for the
 // ring to stabilize.
-func startLoadRing(codec string, n int) ([]*p2prange.LivePeer, error) {
+func startLoadRing(codec string, n int, flightOff bool) ([]*p2prange.LivePeer, error) {
 	cfg := p2prange.LiveConfig{
 		K: 4, L: 3, SchemeSeed: 77,
-		Measure: p2prange.MatchContainment,
-		Codec:   codec,
+		Measure:   p2prange.MatchContainment,
+		Codec:     codec,
+		FlightOff: flightOff,
 		Stabilize: chord.MaintainerConfig{
 			StabilizeEvery:        20 * time.Millisecond,
 			FixFingersEvery:       5 * time.Millisecond,

@@ -45,6 +45,7 @@ func main() {
 		loadPeers    = flag.Int("load-peers", 3, "load harness: ring size (live TCP peers on loopback)")
 		loadOut      = flag.String("load-out", "BENCH_load.json", "load harness: JSON report path")
 		loadProfile  = flag.String("load-cpuprofile", "", "load harness: write a CPU profile of the run to this file")
+		loadFlight   = flag.Bool("load-flight", false, "load harness: A/B the flight recorder (on vs off) and record its overhead under flight_overhead in the report")
 
 		sigCache    = flag.Int("sigcache", 0, "per-peer signature-cache capacity (ranges); 0 disables caching")
 		hashWorkers = flag.Int("hashworkers", 0, "goroutines signing the k*l hash functions of large ranges; <=1 is serial")
@@ -67,6 +68,7 @@ func main() {
 			seed:     *seed,
 			profile:  *loadProfile,
 			slo:      *loadSLO,
+			flight:   *loadFlight,
 		})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "rangebench: -load: %v\n", err)

@@ -38,6 +38,7 @@ import (
 	"strings"
 
 	"p2prange"
+	"p2prange/internal/flight"
 	"p2prange/internal/relation"
 )
 
@@ -94,7 +95,7 @@ func main() {
 	}
 
 	fmt.Println(banner)
-	fmt.Println(`type SQL, or \plan <sql>, \loads, \trace, \dump <rel> <file>, \load <rel> <file>, \q`)
+	fmt.Println(`type SQL, or \plan <sql>, \loads, \trace, \slow, \dump <rel> <file>, \load <rel> <file>, \q`)
 	sc := bufio.NewScanner(os.Stdin)
 	for {
 		fmt.Print("rangeql> ")
@@ -111,6 +112,8 @@ func main() {
 		case line == `\trace`:
 			*traceOn = !*traceOn
 			fmt.Printf("tracing %v\n", map[bool]string{true: "on", false: "off"}[*traceOn])
+		case line == `\slow`:
+			showSlow(eng)
 		case strings.HasPrefix(line, `\plan `):
 			sys, ok := eng.(*p2prange.System)
 			if !ok {
@@ -160,6 +163,36 @@ func connectLive(bootstrap string, seed int64, sigCache, workers int) (*p2prange
 		}
 	}
 	return lp, nil
+}
+
+// showSlow dumps this peer's flight recorder: the slow ring when any
+// query crossed the threshold, the since-boot top-K otherwise — each
+// entry with its stitched span tree, exactly what \trace would have
+// printed, captured after the fact with no flag set.
+func showSlow(eng engine) {
+	lp, ok := eng.(*p2prange.LivePeer)
+	if !ok {
+		fmt.Println(`error: \slow reads the live flight recorder (run with -connect)`)
+		return
+	}
+	rec := lp.Flight()
+	if !rec.On() {
+		fmt.Println("flight recorder disabled")
+		return
+	}
+	entries := rec.Entries(flight.RingSlow)
+	if len(entries) == 0 {
+		entries = rec.Entries(flight.RingTop)
+		if len(entries) == 0 {
+			fmt.Println("no queries recorded yet")
+			return
+		}
+		fmt.Printf("no queries over the %s slow threshold yet; slowest since boot:\n", rec.SlowThreshold())
+	}
+	for _, e := range entries {
+		fmt.Println(e.String())
+		fmt.Print(e.Root.Tree(true))
+	}
 }
 
 // showLoads prints per-peer descriptor counts (simulated) or this peer's

@@ -52,8 +52,10 @@ func main() {
 		nodes, errs := poll(client, addrs)
 		view := obs.Compute(nodes, nil)
 		if *asJSON {
-			for _, e := range errs {
-				fmt.Fprintf(os.Stderr, "rangetop: unreachable: %s\n", e)
+			if !*once {
+				for _, e := range errs {
+					fmt.Fprintf(os.Stderr, "rangetop: unreachable: %s\n", e)
+				}
 			}
 			enc := json.NewEncoder(os.Stdout)
 			enc.SetIndent("", "  ")
@@ -64,7 +66,13 @@ func main() {
 			render(view, prev, errs, !*once)
 		}
 		if *once {
-			if len(nodes) == 0 {
+			// A single-shot poll is a health check as much as a snapshot:
+			// any unreachable peer makes the exit status non-zero so
+			// scripts and CI notice, with the unreachable set on stderr.
+			if len(errs) > 0 {
+				for _, e := range errs {
+					fmt.Fprintf(os.Stderr, "rangetop: unreachable: %s\n", e)
+				}
 				os.Exit(1)
 			}
 			return
@@ -149,6 +157,14 @@ func render(v obs.ClusterView, prev map[string]obs.NodeStatus, errs []string, cl
 		100*r.SigHitRate, 100*r.LookupSuccessRate, 100*r.TransportErrorRate)
 	fmt.Fprintf(&b, "  replica  repaired=%d sync-rounds=%d promotions=%d\n",
 		r.ReplicaRepaired, r.ReplicaSyncRounds, r.ReplicaPromotions)
+	if r.FlightFinished > 0 || r.EventWarns+r.EventErrors > 0 {
+		worst := "-"
+		if r.WorstQueryUS > 0 {
+			worst = fmt.Sprintf("%s @%s", fmtUS(r.WorstQueryUS), r.WorstQueryPeer)
+		}
+		fmt.Fprintf(&b, "  flight   finished=%d kept-slow=%d worst=%s   events warn=%d err=%d\n",
+			r.FlightFinished, r.FlightKeptSlow, worst, r.EventWarns, r.EventErrors)
+	}
 	g := v.Global
 	if g.Counters["ship.push_records"]+g.Counters["ship.applied_records"]+
 		g.Counters["ship.snapshot_seeds"]+g.Counters["replica.ship_synced"] > 0 {
@@ -161,8 +177,8 @@ func render(v obs.ClusterView, prev map[string]obs.NodeStatus, errs []string, cl
 
 	nodes := append([]obs.NodeStatus(nil), v.Nodes...)
 	sort.Slice(nodes, func(i, j int) bool { return nodes[i].Served > nodes[j].Served })
-	fmt.Fprintf(&b, "  %-22s %-10s %8s %8s %8s %8s  %s\n",
-		"ADDR", "ID", "STORED", "ΔSTORED", "SERVED", "ΔSERVED", "STATE")
+	fmt.Fprintf(&b, "  %-22s %-10s %8s %8s %8s %8s %9s  %s\n",
+		"ADDR", "ID", "STORED", "ΔSTORED", "SERVED", "ΔSERVED", "WORST", "STATE")
 	for _, n := range nodes {
 		dStored, dServed := "-", "-"
 		if p, ok := prev[n.Addr]; ok {
@@ -178,12 +194,18 @@ func render(v obs.ClusterView, prev map[string]obs.NodeStatus, errs []string, cl
 			// machine sits (snapshot seed vs record tail).
 			state += fmt.Sprintf("  %s←%s", n.Ship.State, n.Ship.Owner)
 		}
+		// Worst recent query from the peer's flight recorder — the cell
+		// that answers "which peer is hurting" before anyone greps logs.
+		worst := "-"
+		if n.Flight != nil && n.Flight.WorstUS > 0 {
+			worst = fmtUS(n.Flight.WorstUS)
+		}
 		id := n.Ref
 		if i := strings.IndexByte(id, '@'); i > 0 {
 			id = id[:i]
 		}
-		fmt.Fprintf(&b, "  %-22s %-10s %8d %8s %8d %8s  %s\n",
-			n.Addr, id, n.Stored, dStored, n.Served, dServed, state)
+		fmt.Fprintf(&b, "  %-22s %-10s %8d %8s %8d %8s %9s  %s\n",
+			n.Addr, id, n.Stored, dStored, n.Served, dServed, worst, state)
 		if d := n.Durable; d != nil && (len(d.Followers) > 0 || d.RetainedBytes > 0) {
 			// Retention pressure and per-follower lag, indented under
 			// the owning peer.
@@ -199,10 +221,56 @@ func render(v obs.ClusterView, prev map[string]obs.NodeStatus, errs []string, cl
 			}
 		}
 	}
+	renderEvents(&b, nodes)
 	for _, e := range errs {
 		fmt.Fprintf(&b, "  unreachable: %s\n", e)
 	}
 	os.Stdout.WriteString(b.String())
+}
+
+// renderEvents paints the cluster event pane: the newest journal lines
+// across every polled peer, merged by timestamp. Peers sharing one
+// process share one journal, so identical lines are deduplicated.
+func renderEvents(b *strings.Builder, nodes []obs.NodeStatus) {
+	type row struct {
+		addr string
+		e    obs.Event
+	}
+	var rows []row
+	seen := make(map[string]bool)
+	for _, n := range nodes {
+		if n.Events == nil {
+			continue
+		}
+		for _, e := range n.Events.Recent {
+			key := e.Time.String() + "|" + e.Sub + "|" + e.Msg
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			rows = append(rows, row{addr: n.Addr, e: e})
+		}
+	}
+	if len(rows) == 0 {
+		return
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].e.Time.After(rows[j].e.Time) })
+	if len(rows) > 10 {
+		rows = rows[:10]
+	}
+	b.WriteString("\n  EVENTS (newest first)\n")
+	for _, r := range rows {
+		fmt.Fprintf(b, "  %s %-5s [%s] %s\n",
+			r.e.Time.Format("15:04:05"), r.e.Sev, r.e.Sub, r.e.Msg)
+	}
+}
+
+// fmtUS renders a microsecond duration compactly (e.g. 850µs, 12.5ms).
+func fmtUS(us int64) string {
+	if us <= 0 {
+		return "-"
+	}
+	return time.Duration(us * int64(time.Microsecond)).Round(10 * time.Microsecond).String()
 }
 
 // fmtBytes renders a byte count with a binary unit suffix.

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"p2prange/internal/metrics"
+	"p2prange/internal/obs"
 )
 
 // Ref identifies a chord node: its ring position and its transport address.
@@ -231,14 +232,23 @@ var metChordSuspects = metrics.Default.Counter("chord.suspects")
 
 // MarkSuspect excludes a node from routing decisions until SuspectTTL
 // elapses. Called when an RPC to the node fails at the transport level.
+// A fresh suspicion (not a refresh of one still in effect) lands in the
+// cluster event journal — the per-incident signal behind the
+// chord.suspects counter.
 func (n *Node) MarkSuspect(id ID) {
 	if id == n.ref.ID {
 		return
 	}
 	metChordSuspects.Inc()
+	now := time.Now()
 	n.smu.Lock()
-	n.suspects[id] = time.Now().Add(n.susTTL)
+	exp, known := n.suspects[id]
+	fresh := !known || (n.susTTL >= 0 && now.After(exp))
+	n.suspects[id] = now.Add(n.susTTL)
 	n.smu.Unlock()
+	if fresh {
+		obs.Events.Emitf(obs.SevWarn, "chord", "%s suspects %08x: unreachable, excluded from routing", n.ref.Addr, id)
+	}
 }
 
 // Suspect reports whether the node is currently excluded from routing.

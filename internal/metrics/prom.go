@@ -64,13 +64,20 @@ func (s Snapshot) WritePrometheus(w io.Writer) error {
 
 // writePromHistogram emits one histogram: cumulative le buckets at the
 // power-of-two upper bounds, +Inf, _sum and _count, then the quantile
-// summary gauges.
+// summary gauges. A bucket with a pinned exemplar gains the OpenMetrics
+// exemplar suffix (` # {trace_id="..."} value`) so a scrape that shows a
+// latency outlier also names a trace the flight recorder can resolve;
+// buckets without exemplars render exactly as before.
 func writePromHistogram(b *strings.Builder, pn string, h HistSnapshot) {
 	fmt.Fprintf(b, "# TYPE %s histogram\n", pn)
 	cum := uint64(0)
 	for _, bk := range h.Buckets {
 		cum += bk.Count
-		fmt.Fprintf(b, "%s_bucket{le=\"%d\"} %d\n", pn, bk.Hi, cum)
+		fmt.Fprintf(b, "%s_bucket{le=\"%d\"} %d", pn, bk.Hi, cum)
+		if bk.Exemplar != nil {
+			fmt.Fprintf(b, " # {trace_id=\"%s\"} %d", bk.Exemplar.TraceID, bk.Exemplar.Value)
+		}
+		b.WriteByte('\n')
 	}
 	fmt.Fprintf(b, "%s_bucket{le=\"+Inf\"} %d\n", pn, h.Count)
 	fmt.Fprintf(b, "%s_sum %d\n", pn, h.Sum)

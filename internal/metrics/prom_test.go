@@ -88,6 +88,54 @@ p2prange_chord_hops_p99 6.85
 	}
 }
 
+// TestHistogramExemplar pins the exemplar contract: SetExemplar
+// annotates without counting, the snapshot carries it on the matching
+// bucket, and the exposition renders the OpenMetrics suffix on that
+// bucket line only.
+func TestHistogramExemplar(t *testing.T) {
+	r := NewRegistry()
+	h := r.IntHistogram("peer.lookup_us")
+	h.Observe(3)     // bucket [2,3]
+	h.Observe(40000) // bucket [32768,65535]
+	h.SetExemplar(40000, "000000000000002a")
+
+	s := h.Snapshot()
+	if s.Count != 2 {
+		t.Fatalf("count = %d, want 2 (SetExemplar must not count)", s.Count)
+	}
+	var found *Exemplar
+	for _, b := range s.Buckets {
+		if b.Lo == 32768 {
+			found = b.Exemplar
+		} else if b.Exemplar != nil {
+			t.Errorf("bucket [%d,%d] has an unexpected exemplar", b.Lo, b.Hi)
+		}
+	}
+	if found == nil || found.Value != 40000 || found.TraceID != "000000000000002a" {
+		t.Fatalf("exemplar on [32768,65535] = %+v", found)
+	}
+
+	var b strings.Builder
+	if err := r.Snapshot().WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `p2prange_peer_lookup_us_bucket{le="65535"} 2 # {trace_id="000000000000002a"} 40000`
+	if !strings.Contains(b.String(), want+"\n") {
+		t.Errorf("exposition missing exemplar line %q:\n%s", want, b.String())
+	}
+	if strings.Contains(b.String(), `le="3"} 1 #`) {
+		t.Errorf("exemplar leaked onto the wrong bucket:\n%s", b.String())
+	}
+
+	// Reset clears exemplars with the data.
+	r.Reset()
+	for _, bk := range h.Snapshot().Buckets {
+		if bk.Exemplar != nil {
+			t.Error("exemplar survived Reset")
+		}
+	}
+}
+
 // TestMergeQuantileAcrossSnapshots checks that quantiles over a merged
 // histogram see all processes' observations (exercised by obs, pinned
 // here where the bucket math lives).

@@ -75,8 +75,9 @@ func (g *Gauge) Value() int64 {
 // add with no allocation, so it is safe on hot paths. Nil receivers
 // no-op.
 type IntHistogram struct {
-	buckets [65]atomic.Uint64 // indexed by bits.Len64(value)
-	sum     atomic.Uint64
+	buckets   [65]atomic.Uint64 // indexed by bits.Len64(value)
+	sum       atomic.Uint64
+	exemplars [65]atomic.Pointer[Exemplar]
 }
 
 // Observe records one value.
@@ -88,12 +89,33 @@ func (h *IntHistogram) Observe(v uint64) {
 	h.sum.Add(v)
 }
 
+// Exemplar is one concrete observation pinned to a histogram bucket with
+// the trace identity that produced it — the OpenMetrics exemplar the
+// Prometheus exposition attaches to bucket lines, so a latency outlier on
+// a dashboard resolves to a trace the flight recorder may have retained.
+type Exemplar struct {
+	Value   uint64 `json:"value"`
+	TraceID string `json:"trace_id"`
+}
+
+// SetExemplar pins (v, traceID) as the exemplar of v's bucket, replacing
+// any previous one. It does not count an observation — the caller already
+// Observed v (or chose not to); exemplars are annotation, not data.
+func (h *IntHistogram) SetExemplar(v uint64, traceID string) {
+	if h == nil || traceID == "" {
+		return
+	}
+	h.exemplars[bits.Len64(v)].Store(&Exemplar{Value: v, TraceID: traceID})
+}
+
 // HistBucket is one non-empty power-of-two bucket of a histogram
-// snapshot: Count observations fell in [Lo, Hi].
+// snapshot: Count observations fell in [Lo, Hi]. Exemplar, when present,
+// is one concrete observation from the bucket with its trace ID.
 type HistBucket struct {
-	Lo    uint64 `json:"lo"`
-	Hi    uint64 `json:"hi"`
-	Count uint64 `json:"count"`
+	Lo       uint64    `json:"lo"`
+	Hi       uint64    `json:"hi"`
+	Count    uint64    `json:"count"`
+	Exemplar *Exemplar `json:"exemplar,omitempty"`
 }
 
 // HistSnapshot is a point-in-time copy of an IntHistogram.
@@ -116,7 +138,7 @@ func (h *IntHistogram) Snapshot() HistSnapshot {
 		if c == 0 {
 			continue
 		}
-		b := HistBucket{Count: c}
+		b := HistBucket{Count: c, Exemplar: h.exemplars[i].Load()}
 		if i > 0 {
 			b.Lo = 1 << (i - 1)
 			b.Hi = 1<<i - 1
@@ -365,6 +387,7 @@ func (r *Registry) Reset() {
 	for _, h := range r.hists {
 		for i := range h.buckets {
 			h.buckets[i].Store(0)
+			h.exemplars[i].Store(nil)
 		}
 		h.sum.Store(0)
 	}

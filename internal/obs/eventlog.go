@@ -1,0 +1,184 @@
+package obs
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"sync"
+	"time"
+)
+
+// The durable half of the event journal: events.log is an append-only
+// file of framed, checksummed event records under the peer's data
+// directory. The framing discipline is the WAL's (docs/DURABILITY.md):
+//
+//	record := uvarint(len(body)+4) || crc32c(body) little-endian || body
+//	body   := sev(1) || uvarint(unix-nanos) || uvarint(len(sub)) || sub
+//	          || uvarint(len(msg)) || msg
+//
+// so the same recovery contract holds — a reboot walks the file, keeps
+// the longest valid prefix, truncates the torn tail in place, and never
+// refuses to start over a damaged log. Appends are a single write(2)
+// with no fsync: events are advisory, a kill -9 loses nothing already
+// written and a power cut loses at most the page cache — the crash
+// suite in events_test.go pins the torn-tail behavior byte by byte.
+
+// MaxEventRecord bounds one framed event record; larger length prefixes
+// are treated as corruption, so a flipped length byte cannot make
+// recovery skip megabytes of valid history.
+const MaxEventRecord = 1 << 16
+
+// ErrEventCorrupt reports a record that failed structural or checksum
+// validation.
+var ErrEventCorrupt = errors.New("obs: corrupt event record")
+
+// eventCRC is the WAL's checksum polynomial (Castagnoli).
+var eventCRC = crc32.MakeTable(crc32.Castagnoli)
+
+// AppendEventRecord appends e to dst in the framed on-disk form.
+func AppendEventRecord(dst []byte, e Event) []byte {
+	body := make([]byte, 0, 16+len(e.Sub)+len(e.Msg))
+	body = append(body, byte(e.Sev))
+	body = binary.AppendUvarint(body, uint64(e.Time.UnixNano()))
+	body = binary.AppendUvarint(body, uint64(len(e.Sub)))
+	body = append(body, e.Sub...)
+	body = binary.AppendUvarint(body, uint64(len(e.Msg)))
+	body = append(body, e.Msg...)
+
+	dst = binary.AppendUvarint(dst, uint64(len(body)+4))
+	dst = binary.LittleEndian.AppendUint32(dst, crc32.Checksum(body, eventCRC))
+	return append(dst, body...)
+}
+
+// ParseEventRecord decodes one framed record from the front of data,
+// returning the event and how many bytes it consumed. Truncated,
+// oversized, checksum-failing, or structurally invalid records return
+// ErrEventCorrupt (wrapped with the reason); the caller treats the
+// position as the torn tail.
+func ParseEventRecord(data []byte) (Event, int, error) {
+	var e Event
+	length, n := binary.Uvarint(data)
+	if n <= 0 {
+		return e, 0, fmt.Errorf("%w: bad length prefix", ErrEventCorrupt)
+	}
+	if length < 4 || length > MaxEventRecord {
+		return e, 0, fmt.Errorf("%w: implausible record length %d", ErrEventCorrupt, length)
+	}
+	if uint64(len(data)-n) < length {
+		return e, 0, fmt.Errorf("%w: truncated record", ErrEventCorrupt)
+	}
+	frame := data[n : n+int(length)]
+	body := frame[4:]
+	if crc32.Checksum(body, eventCRC) != binary.LittleEndian.Uint32(frame[:4]) {
+		return e, 0, fmt.Errorf("%w: checksum mismatch", ErrEventCorrupt)
+	}
+	if len(body) < 1 {
+		return e, 0, fmt.Errorf("%w: empty body", ErrEventCorrupt)
+	}
+	if body[0] > byte(SevError) {
+		return e, 0, fmt.Errorf("%w: unknown severity %d", ErrEventCorrupt, body[0])
+	}
+	e.Sev = Severity(body[0])
+	body = body[1:]
+	nanos, c := binary.Uvarint(body)
+	if c <= 0 || nanos > uint64(1)<<62 {
+		return e, 0, fmt.Errorf("%w: bad timestamp", ErrEventCorrupt)
+	}
+	e.Time = time.Unix(0, int64(nanos)).UTC()
+	body = body[c:]
+	var err error
+	if e.Sub, body, err = parseEventString(body); err != nil {
+		return e, 0, err
+	}
+	if e.Msg, body, err = parseEventString(body); err != nil {
+		return e, 0, err
+	}
+	if len(body) != 0 {
+		return e, 0, fmt.Errorf("%w: %d trailing byte(s)", ErrEventCorrupt, len(body))
+	}
+	return e, n + int(length), nil
+}
+
+// parseEventString decodes one length-prefixed string from the body.
+func parseEventString(body []byte) (string, []byte, error) {
+	l, c := binary.Uvarint(body)
+	if c <= 0 || uint64(len(body)-c) < l {
+		return "", nil, fmt.Errorf("%w: bad string", ErrEventCorrupt)
+	}
+	return string(body[c : c+int(l)]), body[c+int(l):], nil
+}
+
+// EventLog is the durable appender. Open it with OpenEventLog, attach
+// its Append as a journal sink, Close on shutdown.
+type EventLog struct {
+	mu   sync.Mutex
+	f    *os.File
+	path string
+	buf  []byte
+	err  error // latched first write failure
+}
+
+// OpenEventLog opens (or creates) the event log at path, recovers every
+// valid record from its prefix, and truncates any torn tail in place so
+// the next append starts at a clean boundary. Corruption never fails
+// the open — the returned events are simply the longest valid prefix.
+func OpenEventLog(path string) (*EventLog, []Event, error) {
+	data, err := os.ReadFile(path)
+	if err != nil && !errors.Is(err, os.ErrNotExist) {
+		return nil, nil, err
+	}
+	var events []Event
+	off := 0
+	for off < len(data) {
+		e, n, err := ParseEventRecord(data[off:])
+		if err != nil {
+			break
+		}
+		events = append(events, e)
+		off += n
+	}
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := f.Truncate(int64(off)); err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	if _, err := f.Seek(int64(off), 0); err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	return &EventLog{f: f, path: path}, events, nil
+}
+
+// Append writes one framed record. No fsync: see the package comment
+// for the durability contract. A write failure latches (Err) and turns
+// further appends into no-ops rather than stalling emitters.
+func (l *EventLog) Append(e Event) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.err != nil {
+		return
+	}
+	l.buf = AppendEventRecord(l.buf[:0], e)
+	if _, err := l.f.Write(l.buf); err != nil {
+		l.err = fmt.Errorf("obs: append %s: %w", l.path, err)
+	}
+}
+
+// Err returns the latched write failure, nil while healthy.
+func (l *EventLog) Err() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.err
+}
+
+// Close closes the file.
+func (l *EventLog) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.f.Close()
+}

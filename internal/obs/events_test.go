@@ -1,0 +1,325 @@
+package obs
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func TestJournalRingAndCounts(t *testing.T) {
+	j := NewJournal(4)
+	for i := 0; i < 6; i++ {
+		sev := SevInfo
+		if i == 2 {
+			sev = SevWarn
+		}
+		if i == 5 {
+			sev = SevError
+		}
+		j.Emitf(sev, "test", "event %d", i)
+	}
+	recent := j.Recent(0)
+	if len(recent) != 4 {
+		t.Fatalf("ring retained %d events, want 4", len(recent))
+	}
+	if recent[0].Msg != "event 5" || recent[3].Msg != "event 2" {
+		t.Errorf("recent order wrong: %q .. %q", recent[0].Msg, recent[3].Msg)
+	}
+	if recent[0].Seq != 6 {
+		t.Errorf("newest seq = %d, want 6", recent[0].Seq)
+	}
+	total, warns, errs := j.Counts()
+	if total != 6 || warns != 1 || errs != 1 {
+		t.Errorf("counts = %d/%d/%d, want 6/1/1", total, warns, errs)
+	}
+	if got := j.Recent(2); len(got) != 2 || got[0].Msg != "event 5" {
+		t.Errorf("Recent(2) = %v", got)
+	}
+}
+
+func TestJournalSinks(t *testing.T) {
+	j := NewJournal(8)
+	var got []Event
+	detach := j.AddSink(func(e Event) { got = append(got, e) })
+	j.Emitf(SevInfo, "a", "one")
+	detach()
+	j.Emitf(SevInfo, "a", "two")
+	if len(got) != 1 || got[0].Msg != "one" {
+		t.Fatalf("sink saw %v, want just \"one\"", got)
+	}
+}
+
+func TestJournalPreloadSkipsSinks(t *testing.T) {
+	j := NewJournal(8)
+	sunk := 0
+	j.AddSink(func(Event) { sunk++ })
+	j.Preload([]Event{
+		{Sev: SevWarn, Sub: "wal", Msg: "recovered"},
+		{Sev: SevInfo, Sub: "peer", Msg: "boot"},
+	})
+	if sunk != 0 {
+		t.Fatalf("preload invoked sinks %d time(s); durable history would be re-journaled", sunk)
+	}
+	if total, warns, _ := j.Counts(); total != 2 || warns != 1 {
+		t.Errorf("counts after preload = %d/%d, want 2/1", total, warns)
+	}
+	j.Emitf(SevInfo, "peer", "live")
+	if got := j.Recent(1)[0].Seq; got != 3 {
+		t.Errorf("live event seq = %d, want 3 (after 2 preloaded)", got)
+	}
+}
+
+func TestSeverityJSONRoundTrip(t *testing.T) {
+	for _, sev := range []Severity{SevInfo, SevWarn, SevError} {
+		b, err := sev.MarshalJSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back Severity
+		if err := back.UnmarshalJSON(b); err != nil || back != sev {
+			t.Errorf("severity %v round-tripped to %v (%v)", sev, back, err)
+		}
+	}
+	var s Severity
+	if err := s.UnmarshalJSON([]byte(`"fatal"`)); err == nil {
+		t.Error("unknown severity decoded without error")
+	}
+}
+
+// seedEvents is the corpus the crash tests write and recover.
+func seedEvents() []Event {
+	base := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+	return []Event{
+		{Time: base, Sev: SevInfo, Sub: "peer", Msg: "boot: recovered 12 partitions"},
+		{Time: base.Add(time.Second), Sev: SevWarn, Sub: "chord", Msg: "suspect 7f3a"},
+		{Time: base.Add(2 * time.Second), Sev: SevError, Sub: "ship", Msg: "cursor reset: follower behind retention"},
+		{Time: base.Add(3 * time.Second), Sev: SevInfo, Sub: "wal", Msg: "compacted segment 00000004"},
+	}
+}
+
+func TestEventRecordRoundTrip(t *testing.T) {
+	for _, e := range seedEvents() {
+		buf := AppendEventRecord(nil, e)
+		got, n, err := ParseEventRecord(buf)
+		if err != nil {
+			t.Fatalf("parse %v: %v", e, err)
+		}
+		if n != len(buf) {
+			t.Errorf("consumed %d of %d bytes", n, len(buf))
+		}
+		if got.Sev != e.Sev || got.Sub != e.Sub || got.Msg != e.Msg || !got.Time.Equal(e.Time) {
+			t.Errorf("round trip = %+v, want %+v", got, e)
+		}
+	}
+}
+
+// writeEventFile frames events into path and returns the per-record
+// boundary offsets (0, end-of-record-1, ...), the crash suite's cut map.
+func writeEventFile(t *testing.T, path string, events []Event) []int {
+	t.Helper()
+	var buf []byte
+	offsets := []int{0}
+	for _, e := range events {
+		buf = AppendEventRecord(buf, e)
+		offsets = append(offsets, len(buf))
+	}
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return offsets
+}
+
+// TestEventLogTruncationAtEveryOffset is the torn-tail contract: cut
+// the file at every byte offset, reboot, and recovery must yield
+// exactly the records wholly before the cut — no refusal to start, no
+// phantom events, and the file truncated back to the last boundary so
+// a post-recovery append lands cleanly.
+func TestEventLogTruncationAtEveryOffset(t *testing.T) {
+	dir := t.TempDir()
+	events := seedEvents()
+	full := AppendEventRecord(nil, events[0])
+	for _, e := range events[1:] {
+		full = AppendEventRecord(full, e)
+	}
+	boundaries := []int{0}
+	{
+		var buf []byte
+		for _, e := range events {
+			buf = AppendEventRecord(buf, e)
+			boundaries = append(boundaries, len(buf))
+		}
+	}
+	wholeBefore := func(cut int) int {
+		n := 0
+		for _, b := range boundaries[1:] {
+			if b <= cut {
+				n++
+			}
+		}
+		return n
+	}
+	for cut := 0; cut <= len(full); cut++ {
+		path := filepath.Join(dir, "events.log")
+		if err := os.WriteFile(path, full[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		l, recovered, err := OpenEventLog(path)
+		if err != nil {
+			t.Fatalf("cut %d: open refused: %v", cut, err)
+		}
+		want := wholeBefore(cut)
+		if len(recovered) != want {
+			t.Fatalf("cut %d: recovered %d events, want %d", cut, len(recovered), want)
+		}
+		for i, e := range recovered {
+			if e.Msg != events[i].Msg || e.Sev != events[i].Sev {
+				t.Fatalf("cut %d: event %d = %+v, want %+v", cut, i, e, events[i])
+			}
+		}
+		// Appending after recovery must produce a log that reboots to
+		// prefix + the new record.
+		l.Append(Event{Time: time.Unix(0, 1).UTC(), Sev: SevInfo, Sub: "test", Msg: "post-crash"})
+		if err := l.Err(); err != nil {
+			t.Fatalf("cut %d: append after recovery: %v", cut, err)
+		}
+		l.Close()
+		_, again, err := OpenEventLog(path)
+		if err != nil {
+			t.Fatalf("cut %d: second open: %v", cut, err)
+		}
+		if len(again) != want+1 || again[len(again)-1].Msg != "post-crash" {
+			t.Fatalf("cut %d: after append recovered %d events (last %q), want %d ending post-crash",
+				cut, len(again), again[len(again)-1].Msg, want+1)
+		}
+		os.Remove(path)
+	}
+}
+
+// TestEventLogBitFlips flips every bit of the on-disk log one at a
+// time. Recovery must never refuse to start and must never invent an
+// event that was not written: every recovered record is byte-equal to
+// one of the originals, in prefix order.
+func TestEventLogBitFlips(t *testing.T) {
+	dir := t.TempDir()
+	events := seedEvents()
+	var full []byte
+	for _, e := range events {
+		full = AppendEventRecord(full, e)
+	}
+	isOriginal := func(e Event, i int) bool {
+		return i < len(events) && e.Sev == events[i].Sev && e.Sub == events[i].Sub &&
+			e.Msg == events[i].Msg && e.Time.Equal(events[i].Time)
+	}
+	for pos := 0; pos < len(full); pos++ {
+		for bit := 0; bit < 8; bit++ {
+			corrupt := append([]byte(nil), full...)
+			corrupt[pos] ^= 1 << bit
+			path := filepath.Join(dir, "events.log")
+			if err := os.WriteFile(path, corrupt, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			l, recovered, err := OpenEventLog(path)
+			if err != nil {
+				t.Fatalf("flip %d.%d: open refused: %v", pos, bit, err)
+			}
+			l.Close()
+			for i, e := range recovered {
+				if !isOriginal(e, i) {
+					t.Fatalf("flip %d.%d: phantom event %d: %+v", pos, bit, i, e)
+				}
+			}
+			os.Remove(path)
+		}
+	}
+}
+
+func TestEventLogAppendReadBack(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "events.log")
+	l, recovered, err := OpenEventLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recovered) != 0 {
+		t.Fatalf("fresh log recovered %d events", len(recovered))
+	}
+	for _, e := range seedEvents() {
+		l.Append(e)
+	}
+	if err := l.Err(); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	_, back, err := OpenEventLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(seedEvents()) {
+		t.Fatalf("read back %d events, want %d", len(back), len(seedEvents()))
+	}
+	for i, e := range back {
+		if e.Msg != seedEvents()[i].Msg {
+			t.Errorf("event %d = %q, want %q", i, e.Msg, seedEvents()[i].Msg)
+		}
+	}
+}
+
+func TestParseEventRecordRejects(t *testing.T) {
+	good := AppendEventRecord(nil, seedEvents()[0])
+	cases := map[string][]byte{
+		"empty":            nil,
+		"huge length":      append([]byte{0xff, 0xff, 0xff, 0xff, 0x7f}, good...),
+		"zero length":      {0x00},
+		"truncated":        good[:len(good)-1],
+		"checksum garbage": func() []byte { b := append([]byte(nil), good...); b[1] ^= 0xff; return b }(),
+	}
+	for name, data := range cases {
+		if _, _, err := ParseEventRecord(data); !errors.Is(err, ErrEventCorrupt) {
+			t.Errorf("%s: err = %v, want ErrEventCorrupt", name, err)
+		}
+	}
+}
+
+// FuzzEventRecordParse hammers the record parser with mutated bytes: a
+// corrupt or truncated record must produce a clean error, and any
+// record the parser accepts must re-encode to an identical re-parse —
+// the property boot recovery relies on when it walks an events.log of
+// unknown integrity. Same invariant FuzzWALRecordParse pins for the WAL.
+func FuzzEventRecordParse(f *testing.F) {
+	for _, e := range seedEvents() {
+		rec := AppendEventRecord(nil, e)
+		f.Add(rec)
+		for cut := 0; cut < len(rec); cut++ {
+			f.Add(rec[:cut])
+		}
+	}
+	f.Add([]byte{0x00})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0x7f, 0x01})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<17 {
+			return
+		}
+		e, n, err := ParseEventRecord(data)
+		if err != nil {
+			if !errors.Is(err, ErrEventCorrupt) {
+				t.Fatalf("rejection is not ErrEventCorrupt: %v", err)
+			}
+			return
+		}
+		if n <= 0 || n > len(data) {
+			t.Fatalf("accepted record consumed %d of %d bytes", n, len(data))
+		}
+		again := AppendEventRecord(nil, e)
+		e2, n2, err := ParseEventRecord(again)
+		if err != nil {
+			t.Fatalf("re-encoded record failed to parse: %v", err)
+		}
+		if n2 != len(again) {
+			t.Fatalf("re-parse consumed %d of %d bytes", n2, len(again))
+		}
+		if e2.Sev != e.Sev || e2.Sub != e.Sub || e2.Msg != e.Msg || !e2.Time.Equal(e.Time) {
+			t.Errorf("event changed across a round trip:\nfirst:  %+v\nsecond: %+v", e, e2)
+		}
+	})
+}

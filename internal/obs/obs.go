@@ -44,6 +44,37 @@ type NodeStatus struct {
 	// Ship describes this peer's log-shipping follower, when it tails
 	// another peer's WAL (peerd -follow). Nil otherwise.
 	Ship *ShipStatus `json:"ship,omitempty"`
+	// Flight summarizes the peer's always-on flight recorder. Nil only
+	// when recording is disabled (peerd -flight-off).
+	Flight *FlightStatus `json:"flight,omitempty"`
+	// Events summarizes the peer's cluster event journal.
+	Events *EventsStatus `json:"events,omitempty"`
+}
+
+// FlightStatus mirrors the flight recorder's rollup (flight.Stats) on
+// /status: how many queries finished, how many the tail-based keep
+// policy pinned, and the slowest query still in the recent ring — the
+// "worst recent query" rangetop shows per peer.
+type FlightStatus struct {
+	Finished        uint64 `json:"finished"`
+	KeptSlow        uint64 `json:"kept_slow"`
+	KeptErrored     uint64 `json:"kept_errored"`
+	KeptHopHeavy    uint64 `json:"kept_hop_heavy"`
+	SlowThresholdUS int64  `json:"slow_threshold_us"`
+	WorstUS         int64  `json:"worst_us,omitempty"`
+	WorstName       string `json:"worst_name,omitempty"`
+	WorstTraceID    string `json:"worst_trace_id,omitempty"`
+}
+
+// EventsStatus summarizes the peer's event journal on /status: lifetime
+// counts by severity, whether events also land in a durable events.log,
+// and the newest few lines for rangetop's events pane.
+type EventsStatus struct {
+	Total   uint64  `json:"total"`
+	Warns   uint64  `json:"warns"`
+	Errors  uint64  `json:"errors"`
+	Durable bool    `json:"durable,omitempty"`
+	Recent  []Event `json:"recent,omitempty"`
 }
 
 // DurableStatus mirrors the peer's WAL state (wal.Stats) on /status:
@@ -175,6 +206,18 @@ type Rollup struct {
 	TransportCalls     uint64  `json:"transport_calls"`
 	TransportErrors    uint64  `json:"transport_errors"`
 	TransportErrorRate float64 `json:"transport_error_rate"`
+
+	// Flight-recorder rollup: queries finished and kept across every
+	// peer, plus the single worst recent query anywhere in the cluster.
+	FlightFinished uint64 `json:"flight_finished,omitempty"`
+	FlightKeptSlow uint64 `json:"flight_kept_slow,omitempty"`
+	WorstQueryUS   int64  `json:"worst_query_us,omitempty"`
+	WorstQueryName string `json:"worst_query_name,omitempty"`
+	WorstQueryPeer string `json:"worst_query_peer,omitempty"`
+
+	// Event-journal rollup: warnings and errors across every peer.
+	EventWarns  uint64 `json:"event_warns,omitempty"`
+	EventErrors uint64 `json:"event_errors,omitempty"`
 }
 
 // MergeSnapshots folds per-process snapshots into one cluster snapshot:
@@ -257,6 +300,19 @@ func rollup(nodes []NodeStatus, g metrics.Snapshot) Rollup {
 		r.TotalServed += n.Served
 		if n.Served > r.MaxServed {
 			r.MaxServed = n.Served
+		}
+		if f := n.Flight; f != nil {
+			r.FlightFinished += f.Finished
+			r.FlightKeptSlow += f.KeptSlow
+			if f.WorstUS > r.WorstQueryUS {
+				r.WorstQueryUS = f.WorstUS
+				r.WorstQueryName = f.WorstName
+				r.WorstQueryPeer = n.Addr
+			}
+		}
+		if e := n.Events; e != nil {
+			r.EventWarns += e.Warns
+			r.EventErrors += e.Errors
 		}
 	}
 	if len(nodes) > 0 {

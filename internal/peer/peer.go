@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"p2prange/internal/chord"
+	"p2prange/internal/flight"
 	"p2prange/internal/metrics"
 	"p2prange/internal/minhash"
 	"p2prange/internal/rangeset"
@@ -164,6 +165,7 @@ type Peer struct {
 	signer  *minhash.Signer  // non-nil when Scheme went through the pipeline
 	replica *replica.Manager // non-nil when Config.Replicas > 0
 	served  atomic.Int64     // bucket probes answered by this peer
+	flight  atomic.Pointer[flight.Recorder]
 
 	mu      sync.RWMutex
 	data    map[string]*relation.Partition // materialized partitions by Key()
@@ -255,6 +257,17 @@ func (p *Peer) commitDurable() error {
 	return d.Commit()
 }
 
+// SetFlight installs the flight recorder the serving side finishes into:
+// every traced protocol request this peer answers is recorded — under the
+// caller's sampled trace when one arrives, or under a locally opened root
+// span when none does — so a peer that only ever *serves* still retains
+// its slow and errored requests. A nil recorder (the default) disables
+// serve-side recording entirely.
+func (p *Peer) SetFlight(rec *flight.Recorder) { p.flight.Store(rec) }
+
+// Flight returns the installed recorder (nil when none).
+func (p *Peer) Flight() *flight.Recorder { return p.flight.Load() }
+
 // Node exposes the chord node (for ring construction and diagnostics).
 func (p *Peer) Node() *chord.Node { return p.node }
 
@@ -285,15 +298,32 @@ func (p *Peer) HandleTraced(tc trace.Context, req any) (any, []trace.Wire, error
 		return resp, nil, err
 	}
 	var sp *trace.Span
-	if tc.Sampled {
-		if kind := serveKind(req); kind != "" {
+	var local bool // span opened by the flight recorder, not the caller
+	rec := p.flight.Load()
+	if kind := serveKind(req); kind != "" {
+		switch {
+		case tc.Sampled:
 			sp = trace.Remote(tc, fmt.Sprintf("serve %s @%s", kind, p.Addr()))
 			sp.Event("from", tc.Caller)
+		case rec.On():
+			// No sampled context arrived, but the flight recorder is on:
+			// open a local root so this serve is retained if it turns out
+			// slow or errored. The span stays off the wire — the caller
+			// did not ask for a fragment.
+			local = true
+			sp = rec.Start(fmt.Sprintf("serve %s @%s", kind, p.Addr()))
+			if tc.Caller != "" {
+				sp.Event("from", tc.Caller)
+			}
 		}
 	}
 	resp, err := p.handle(req, sp)
 	if sp.On() {
 		sp.End()
+		rec.Finish(flight.KindServe, sp, 0, err)
+		if local {
+			return resp, nil, err
+		}
 		return resp, []trace.Wire{sp.Export()}, err
 	}
 	return resp, nil, err
@@ -334,12 +364,20 @@ func (p *Peer) handle(req any, sp *trace.Span) (any, error) {
 		}
 		return fb, nil
 	case FindBestBatchReq:
-		resp := FindBestBatchResp{Results: make([]FindBestResp, len(r.IDs))}
-		for i, id := range r.IDs {
-			resp.Results[i] = p.findBest(id, r.Relation, r.Attribute, r.Range, r.Measure, sp)
-		}
 		if sp.On() {
 			sp.Eventf("batch", "%d probe(s)", len(r.IDs))
+		}
+		resp := FindBestBatchResp{Results: make([]FindBestResp, len(r.IDs))}
+		for i, id := range r.IDs {
+			fb := p.findBest(id, r.Relation, r.Attribute, r.Range, r.Measure, sp)
+			resp.Results[i] = fb
+			if sp.On() {
+				if fb.Found {
+					sp.Eventf("best", "id=%08x %s score=%.3f", id, fb.Match.Partition.Range, fb.Match.Score)
+				} else {
+					sp.Eventf("best", "id=%08x none", id)
+				}
+			}
 		}
 		return resp, nil
 	case StoreReq:
@@ -556,13 +594,14 @@ func (p *Peer) LookupTraced(rel, attribute string, q rangeset.Range, cache bool,
 			sp.Event("sig", "no signature pipeline")
 		}
 	}
-	// Untraced lookups without load-aware routing coalesce the probes
-	// bound for each owner into one batch round trip. Traced lookups keep
-	// the per-probe protocol so span trees are identical across
-	// transports (the TCP≡memory golden test pins them), and load-aware
-	// routing probes replica-set members individually by design.
-	if !sp.On() && !(p.replica != nil && p.cfg.LoadAware) && len(ids) > 1 {
-		return p.lookupBatched(rel, attribute, q, cache, ids, start)
+	// Lookups without load-aware routing coalesce the probes bound for
+	// each owner into one batch round trip — traced or not, so the flight
+	// recorder's always-sampled root costs no extra RPCs and an explicit
+	// -trace shows the batch protocol actually on the wire (the TCP≡memory
+	// golden test pins the traced batch tree). Load-aware routing probes
+	// replica-set members individually by design.
+	if !(p.replica != nil && p.cfg.LoadAware) && len(ids) > 1 {
+		return p.lookupBatched(rel, attribute, q, cache, ids, start, sp)
 	}
 	owners := make([]chord.Ref, len(ids))
 	for i, id := range ids {
@@ -648,17 +687,29 @@ func (p *Peer) LookupTraced(rel, attribute string, q rangeset.Range, cache bool,
 // hash into the same successor arc share a round trip. Any batch failure
 // (an unreachable owner, or a remote that predates the batch protocol)
 // degrades to the per-probe path with its usual owner failover, so the
-// result is identical to the unbatched protocol.
-func (p *Peer) lookupBatched(rel, attribute string, q rangeset.Range, cache bool, ids []uint32, start time.Time) (LookupResult, error) {
+// result is identical to the unbatched protocol. With sp on, each probe's
+// routing lands on its own child span and each batch round trip gets a
+// child carrying the remote serve span and the per-probe outcomes — so a
+// traced lookup shows the wire protocol as it actually ran, and the
+// flight recorder's always-sampled root changes no RPC count.
+func (p *Peer) lookupBatched(rel, attribute string, q rangeset.Range, cache bool, ids []uint32, start time.Time, sp *trace.Span) (LookupResult, error) {
 	var res LookupResult
 	owners := make([]chord.Ref, len(ids))
 	groups := make(map[uint32][]int, len(ids)) // owner ID -> probe indices
 	order := make([]chord.Ref, 0, len(ids))    // distinct owners, first-seen order
 	for i, id := range ids {
 		metProbes.Inc()
-		owner, hops, err := p.node.Lookup(id)
+		var ps *trace.Span
+		if sp.On() {
+			ps = sp.Child(fmt.Sprintf("probe %d/%d id=%08x", i+1, len(ids), id))
+		}
+		owner, hops, err := p.node.LookupTraced(id, ps)
 		if err != nil {
+			ps.End()
 			return res, fmt.Errorf("peer: route to bucket %08x: %w", id, err)
+		}
+		if ps.On() {
+			ps.End()
 		}
 		res.Hops = append(res.Hops, hops)
 		owners[i] = owner
@@ -683,30 +734,59 @@ func (p *Peer) lookupBatched(rel, attribute string, q rangeset.Range, cache bool
 			batch.IDs[j] = ids[i]
 		}
 		metBatches.Inc()
-		resp, err := p.call(owner, batch)
+		var bs *trace.Span
+		if sp.On() {
+			bs = sp.Child(fmt.Sprintf("batch @%s: %d probe(s)", owner.Addr, len(idxs)))
+		}
+		resp, err := p.callCtx(owner, batch, bs)
 		br, ok := resp.(FindBestBatchResp)
 		if err == nil && ok && len(br.Results) == len(idxs) {
-			for j := range idxs {
+			for j, i := range idxs {
 				merge(br.Results[j])
+				if bs.On() {
+					if fb := br.Results[j]; fb.Found {
+						bs.Eventf("match", "probe %d: %s score=%.3f", i+1, fb.Match.Partition.Range, fb.Match.Score)
+					} else {
+						bs.Eventf("match", "probe %d: none", i+1)
+					}
+				}
 			}
+			bs.End()
 			continue
 		}
 		// Fall back probe by probe; callOwner re-resolves a dead owner.
+		if bs.On() {
+			if err != nil {
+				bs.Eventf("fallback", "batch failed (%v), probing individually", err)
+			} else {
+				bs.Event("fallback", "unexpected batch response, probing individually")
+			}
+		}
 		for _, i := range idxs {
 			req := FindBestReq{
 				ID: ids[i], Relation: rel, Attribute: attribute, Range: q, Measure: p.cfg.Measure,
 			}
-			newOwner, r2, err2 := p.callOwner(ids[i], owners[i], req, nil)
+			newOwner, r2, err2 := p.callOwner(ids[i], owners[i], req, bs)
 			if err2 != nil {
+				bs.End()
 				return res, err2
 			}
 			owners[i] = newOwner
 			fb, ok := r2.(FindBestResp)
 			if !ok {
+				bs.End()
 				return res, transport.BadRequest(r2)
 			}
 			merge(fb)
+			if bs.On() {
+				if fb.Found {
+					bs.Eventf("match", "probe %d: %s score=%.3f", i+1, fb.Match.Partition.Range, fb.Match.Score)
+				} else {
+					bs.Eventf("match", "probe %d: none", i+1)
+				}
+			}
 		}
+		bs.End()
 	}
 	exact := res.Found && res.Match.Partition.Range == q
 	if cache && !exact {
@@ -717,12 +797,17 @@ func (p *Peer) lookupBatched(rel, attribute string, q rangeset.Range, cache bool
 				Partition: store.Partition{
 					Relation: rel, Attribute: attribute, Range: q, Holder: p.Addr(),
 				},
-			}, nil)
+			}, sp)
 			if err != nil {
 				return res, err
 			}
 		}
 		res.Stored = true
+		if sp.On() {
+			sp.Eventf("store", "descriptor cached at %d owner(s)", len(ids))
+		}
+	} else if sp.On() && cache {
+		sp.Event("store", "skipped (exact match)")
 	}
 	metLookupUS.Observe(uint64(time.Since(start).Microseconds()))
 	return res, nil

@@ -6,6 +6,7 @@ import (
 
 	"p2prange/internal/chord"
 	"p2prange/internal/metrics"
+	"p2prange/internal/obs"
 	"p2prange/internal/store"
 	"p2prange/internal/transport"
 )
@@ -230,6 +231,7 @@ func (m *Manager) Hit(id uint32) {
 		return
 	}
 	metPromotions.Inc()
+	obs.Events.Emitf(obs.SevInfo, "replica", "%s promoted hot bucket %08x to fan-out %d", m.self.Addr, id, m.cfg.RHot)
 	if m.deps.Owns != nil && !m.deps.Owns(id) {
 		return
 	}
@@ -327,6 +329,12 @@ func (m *Manager) Sync() SyncStats {
 				stats.Repaired++
 			}
 		}
+	}
+	// One journal line per round that actually fixed something: repair is
+	// the signal that copies were lost (a crash, an eviction, a missed
+	// push), not routine convergence.
+	if stats.Repaired > 0 {
+		obs.Events.Emitf(obs.SevWarn, "replica", "%s anti-entropy repaired %d cop(ies) across %d successor(s)", m.self.Addr, stats.Repaired, stats.Peers)
 	}
 	return stats
 }

@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"p2prange/internal/obs"
 	"p2prange/internal/wal"
 )
 
@@ -158,6 +159,7 @@ func (f *Follower) catchUpOnce() (applied int, retry bool, err error) {
 		if err := f.reset(); err != nil {
 			return 0, false, err
 		}
+		obs.Events.Emitf(obs.SevWarn, "ship", "%s wiped local state to re-tail %s from the oldest record", f.cfg.Self, f.cfg.Owner)
 		cur = sub.Next
 	case sub.Tail:
 		cur = sub.Next
@@ -207,6 +209,7 @@ func (f *Follower) tail(cur wal.Cursor) (int, bool, error) {
 			f.cursor = wal.Cursor{}
 			f.mu.Unlock()
 			metCursorResets.Inc()
+			obs.Events.Emitf(obs.SevWarn, "ship", "%s reset follower %s: retention outran cursor seq=%d, resubscribing", f.cfg.Owner, f.cfg.Self, cur.Seq)
 			return applied, true, nil
 		}
 		if len(ent.Data) > 0 {
@@ -370,6 +373,7 @@ func (f *Follower) seedSnapshot(seq uint64, size int64) (int, wal.Cursor, error)
 
 	cur := wal.Cursor{Seq: seq + 1}
 	_, _ = f.call(CursorAckReq{Follower: f.cfg.Self, Cursor: cur})
+	obs.Events.Emitf(obs.SevInfo, "ship", "%s seeded from snapshot segment %016x of %s: %d record(s), %d byte(s)", f.cfg.Self, seq, f.cfg.Owner, len(recs), len(data))
 	return len(recs), cur, nil
 }
 

@@ -187,6 +187,18 @@ func (s *Span) Name() string {
 	return s.name
 }
 
+// TraceID returns the trace identity this span belongs to (0 for a nil
+// span). The flight recorder keys retained trees by it, and the
+// Prometheus exposition attaches it to histogram buckets as an
+// exemplar, so a latency outlier on a dashboard resolves to a concrete
+// retained trace.
+func (s *Span) TraceID() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.traceID
+}
+
 // Tree renders the span as an indented tree, one line per span or event.
 // withTimings appends each span's duration; golden tests disable it so
 // the output is deterministic.

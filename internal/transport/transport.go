@@ -3,6 +3,7 @@ package transport
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"p2prange/internal/metrics"
 	"p2prange/internal/trace"
@@ -18,6 +19,11 @@ var (
 	// metPanics counts handler panics recovered by the server loops and
 	// converted to envelope errors instead of crashing the process.
 	metPanics = metrics.Default.Counter("transport.panics")
+	// metCallUS is the round-trip latency of calls issued through CallCtx
+	// — the peer protocol's remote path. Sampled calls pin their trace ID
+	// to the bucket as an exemplar, so a latency outlier in the Prometheus
+	// exposition names a trace the flight recorder can look up.
+	metCallUS = metrics.Default.IntHistogram("transport.call_us")
 )
 
 // Caller issues a request to the node at addr and returns its response.
@@ -56,12 +62,20 @@ type ContextCaller interface {
 
 // CallCtx issues a traced call through c when it supports propagation,
 // degrading to an untraced Call (no fragments) otherwise. Instrumented
-// code calls this instead of type-asserting at every site.
+// code calls this instead of type-asserting at every site. Every call is
+// timed into transport.call_us; sampled calls also pin their trace ID to
+// the latency bucket as an exemplar.
 func CallCtx(c Caller, addr string, tc trace.Context, req any) (any, []trace.Wire, error) {
+	start := time.Now()
 	if cc, ok := c.(ContextCaller); ok && tc.Sampled {
-		return cc.CallCtx(addr, tc, req)
+		resp, spans, err := cc.CallCtx(addr, tc, req)
+		us := uint64(time.Since(start).Microseconds())
+		metCallUS.Observe(us)
+		metCallUS.SetExemplar(us, fmt.Sprintf("%016x", tc.TraceID))
+		return resp, spans, err
 	}
 	resp, err := c.Call(addr, req)
+	metCallUS.Observe(uint64(time.Since(start).Microseconds()))
 	return resp, nil, err
 }
 

@@ -6,10 +6,13 @@ import (
 	"log"
 	"math/rand"
 	"net"
+	"os"
+	"path/filepath"
 	"sync"
 	"time"
 
 	"p2prange/internal/chord"
+	"p2prange/internal/flight"
 	"p2prange/internal/metrics"
 	"p2prange/internal/minhash"
 	"p2prange/internal/obs"
@@ -121,6 +124,22 @@ type LiveConfig struct {
 	// cap — overflowing descriptors are dropped, the paper's cache
 	// model. 0 means unbounded.
 	MemLimit int
+	// SlowThreshold is the flight recorder's slow-query cutoff: a
+	// finished query at or over it is pinned in the slow ring (default
+	// flight.DefaultSlowThreshold, 25ms). Effective unless FlightOff.
+	SlowThreshold time.Duration
+	// FlightKeep is the capacity of each pinned flight-recorder ring —
+	// slow, top-K, errored, hop-heavy (default flight.DefaultKeep).
+	FlightKeep int
+	// FlightOff disables the always-on flight recorder. Queries then run
+	// on the nil-span fast path with zero recording overhead, and the
+	// /debug/slow and /debug/flight surfaces serve nothing.
+	FlightOff bool
+	// EventsDir overrides where the durable cluster event journal
+	// (events.log) lives; empty uses DataDir. When both are empty the
+	// journal is memory-only — the bounded in-process ring still serves
+	// /debug/events, it just does not survive a restart.
+	EventsDir string
 }
 
 func orDefault(s, def string) string {
@@ -158,6 +177,10 @@ type LivePeer struct {
 	shipSvc    *ship.Service
 	pusher     *ship.Pusher   // nil unless DataDir and Replicas
 	follower   *ship.Follower // nil unless Follow
+
+	flight       *flight.Recorder // nil when FlightOff
+	events       *obs.EventLog    // nil when the journal is memory-only
+	eventsDetach func()           // unhooks the durable sink on Close
 
 	coalesce *query.Coalescer // shared singleflight for untraced SQL leaf fetches
 
@@ -230,6 +253,26 @@ func StartPeer(listenAddr, bootstrap string, cfg LiveConfig) (*LivePeer, error) 
 		base:     make(map[string]*relation.Relation),
 		coalesce: query.NewCoalescer(),
 	}
+	if !cfg.FlightOff {
+		// The flight recorder is on by default: tail-based keeps are the
+		// point — no flag should be needed to have captured the slow query
+		// that already happened. The exemplar hook pins each recorded
+		// lookup's trace ID onto its peer.lookup_us latency bucket, so a
+		// Prometheus scrape links a slow bucket straight to a retained
+		// trace on /debug/flight. Only whole lookups annotate that
+		// histogram — serves and SQL have different shapes.
+		lookupHist := metrics.Default.IntHistogram("peer.lookup_us")
+		lp.flight = flight.New(flight.Config{
+			SlowThreshold: cfg.SlowThreshold,
+			Keep:          cfg.FlightKeep,
+			Exemplar: func(kind string, us, id uint64) {
+				if kind == flight.KindLookup {
+					lookupHist.SetExemplar(us, flight.TraceIDString(id))
+				}
+			},
+		})
+		p.SetFlight(lp.flight)
+	}
 	if cfg.DataDir != "" {
 		// Recover before serving and before joining: the store must hold
 		// its durable descriptors when the first request or anti-entropy
@@ -252,11 +295,20 @@ func StartPeer(listenAddr, bootstrap string, cfg LiveConfig) (*LivePeer, error) 
 				// pace, forces a full reseed.
 				log.Printf("p2prange: %s: ship-retain budget dropped follower %s at %s; it will reseed from the segment",
 					addr, follower, c)
+				obs.Events.Emitf(obs.SevWarn, "wal", "%s retention budget dropped follower %s at %s: it must reseed from the segment", addr, follower, c)
 			},
 		}
+		// Seal events come from this hook so the wal package itself stays
+		// free of the observability plane; the backup mirror (below)
+		// chains onto the same hook.
+		sealEvent := func(seq uint64) {
+			obs.Events.Emitf(obs.SevInfo, "wal", "%s sealed segment %016x: wal folded, replay debt cleared", addr, seq)
+		}
+		opts.OnSeal = sealEvent
 		if cfg.BackupTo != "" {
 			var backupMu sync.Mutex
-			opts.OnSeal = func(uint64) {
+			opts.OnSeal = func(seq uint64) {
+				sealEvent(seq)
 				// Compaction calls OnSeal inline; mirror in the background
 				// so a slow backup disk never stalls the append path.
 				go func() {
@@ -304,6 +356,36 @@ func StartPeer(listenAddr, bootstrap string, cfg LiveConfig) (*LivePeer, error) 
 		p.AttachDurability(lg)
 		lp.wal = lg
 		lp.recovery = rec
+	}
+
+	// The cluster event journal: every peer keeps the bounded in-process
+	// ring; a peer with a directory also makes it durable (events.log,
+	// same framing discipline as the WAL). Open before serving so the
+	// boot events below are captured, and preload the previous boots'
+	// tail so /debug/events shows what happened before the restart.
+	if evDir := orDefault(cfg.EventsDir, cfg.DataDir); evDir != "" {
+		if err := os.MkdirAll(evDir, 0o755); err != nil {
+			lp.closeEarly(ln)
+			return nil, err
+		}
+		elog, past, err := obs.OpenEventLog(filepath.Join(evDir, "events.log"))
+		if err != nil {
+			lp.closeEarly(ln)
+			return nil, err
+		}
+		obs.Events.Preload(past)
+		lp.events = elog
+		lp.eventsDetach = obs.Events.AddSink(elog.Append)
+	}
+	if lp.wal != nil {
+		rec := lp.recovery
+		if rec.TornTail || rec.DroppedFiles > 0 {
+			obs.Events.Emitf(obs.SevWarn, "peer", "%s recovered with damage: torn_tail=%v dropped_files=%d (replayed %d wal record(s) over %d from segment %016x)",
+				addr, rec.TornTail, rec.DroppedFiles, rec.Replayed, rec.SegmentRecords, rec.SegmentSeq)
+		} else if rec.SegmentRecords > 0 || rec.Replayed > 0 {
+			obs.Events.Emitf(obs.SevInfo, "peer", "%s recovered %d descriptor(s) from segment %016x plus %d wal record(s) in %s",
+				addr, rec.SegmentRecords, rec.SegmentSeq, rec.Replayed, rec.Elapsed.Round(time.Millisecond))
+		}
 	}
 
 	// Log shipping. Every peer answers the receiving half (pushed record
@@ -379,6 +461,16 @@ func StartPeer(listenAddr, bootstrap string, cfg LiveConfig) (*LivePeer, error) 
 	return lp, nil
 }
 
+// closeEarly tears down a partially started peer when StartPeer fails
+// after the listener and caller exist but before serving begins.
+func (lp *LivePeer) closeEarly(ln net.Listener) {
+	ln.Close()
+	lp.caller.Close()
+	if lp.wal != nil {
+		lp.wal.Close()
+	}
+}
+
 // Addr returns the peer's listen address (how other peers reach it).
 func (lp *LivePeer) Addr() string { return lp.peer.Addr() }
 
@@ -392,7 +484,7 @@ func (lp *LivePeer) Lookup(rel, attribute string, q Range, cache bool) (Match, b
 	var lastErr error
 	backoff := 100 * time.Millisecond
 	for attempt := 0; attempt < 8; attempt++ {
-		lr, err := lp.peer.Lookup(rel, attribute, q, cache)
+		lr, err := lp.lookupRecorded(rel, attribute, q, cache)
 		if err == nil {
 			return lr.Match, lr.Found, nil
 		}
@@ -405,12 +497,39 @@ func (lp *LivePeer) Lookup(rel, attribute string, q Range, cache bool) (Match, b
 	return Match{}, false, lastErr
 }
 
+// lookupRecorded runs one lookup protocol attempt under the flight
+// recorder: an always-sampled root span whose stitched tree — probes,
+// batches, grafted remote serve spans — is the one LookupTraced builds,
+// retained only if the tail-based keep policy finds the outcome
+// interesting. With the recorder off this is exactly peer.Lookup's
+// nil-span fast path: zero extra allocations, zero extra RPCs.
+func (lp *LivePeer) lookupRecorded(rel, attribute string, q Range, cache bool) (peer.LookupResult, error) {
+	rec := lp.flight
+	if !rec.On() {
+		return lp.peer.Lookup(rel, attribute, q, cache)
+	}
+	sp := rec.Start(fmt.Sprintf("lookup %s.%s %s from %s", rel, attribute, q, lp.Addr()))
+	lr, err := lp.peer.LookupTraced(rel, attribute, q, cache, sp)
+	rec.Finish(flight.KindLookup, sp, sumHops(lr.Hops), err)
+	return lr, err
+}
+
+// sumHops totals the per-probe chord path lengths for the hop-heavy
+// keep policy.
+func sumHops(hops []int) int {
+	total := 0
+	for _, h := range hops {
+		total += h
+	}
+	return total
+}
+
 // LookupOnce runs a single approximate range lookup with no
 // stabilization-retry loop: a routing failure surfaces immediately.
 // Load generators use it so each attempt costs exactly one protocol
 // run and failures land in the error budget instead of a backoff sleep.
 func (lp *LivePeer) LookupOnce(rel, attribute string, q Range, cache bool) (Match, bool, error) {
-	lr, err := lp.peer.Lookup(rel, attribute, q, cache)
+	lr, err := lp.lookupRecorded(rel, attribute, q, cache)
 	if err != nil {
 		return Match{}, false, err
 	}
@@ -418,9 +537,17 @@ func (lp *LivePeer) LookupOnce(rel, attribute string, q Range, cache bool) (Matc
 }
 
 // Publish stores a partition descriptor held by this peer under its l
-// identifiers.
+// identifiers. Like lookups, each publish runs under the flight
+// recorder, so a slow or failed publish leaves a retained trace.
 func (lp *LivePeer) Publish(info PartitionInfo) error {
-	_, err := lp.peer.Publish(info)
+	rec := lp.flight
+	if !rec.On() {
+		_, err := lp.peer.Publish(info)
+		return err
+	}
+	sp := rec.Start(fmt.Sprintf("publish %s.%s %s from %s", info.Relation, info.Attribute, info.Range, lp.Addr()))
+	hops, err := lp.peer.PublishTraced(info, sp)
+	rec.Finish(flight.KindPublish, sp, sumHops(hops), err)
 	return err
 }
 
@@ -533,6 +660,29 @@ func (lp *LivePeer) Status() obs.NodeStatus {
 			})
 		}
 	}
+	if f := lp.flight; f.On() {
+		fs := f.Stats()
+		st.Flight = &obs.FlightStatus{
+			Finished:        fs.Finished,
+			KeptSlow:        fs.KeptSlow,
+			KeptErrored:     fs.KeptErrored,
+			KeptHopHeavy:    fs.KeptHopHeavy,
+			SlowThresholdUS: fs.SlowThresholdUS,
+			WorstUS:         fs.WorstUS,
+			WorstName:       fs.WorstName,
+			WorstTraceID:    fs.WorstTraceID,
+		}
+	}
+	total, warns, errs := obs.Events.Counts()
+	st.Events = &obs.EventsStatus{
+		Total:   total,
+		Warns:   warns,
+		Errors:  errs,
+		Durable: lp.events != nil,
+		// Enough lines for rangetop's events pane without bloating every
+		// /status poll; /debug/events serves the full ring.
+		Recent: obs.Events.Recent(8),
+	}
 	if lp.follower != nil {
 		fs := lp.follower.Stats()
 		st.Ship = &obs.ShipStatus{
@@ -577,6 +727,10 @@ func (lp *LivePeer) LookupTraced(rel, attribute string, q Range, cache bool) (Ma
 	sp := trace.New(fmt.Sprintf("lookup %s.%s %s from %s", rel, attribute, q, lp.Addr()))
 	lr, err := lp.peer.LookupTraced(rel, attribute, q, cache, sp)
 	sp.End()
+	// Explicitly traced runs are recorded too: the root name above is
+	// byte-identical to lookupRecorded's, so a kept flight entry and a
+	// `rangeql -trace` of the same query render the same tree.
+	lp.flight.Finish(flight.KindLookup, sp, sumHops(lr.Hops), err)
 	if err != nil {
 		return Match{}, false, sp, err
 	}
@@ -642,19 +796,26 @@ func (lp *LivePeer) runQuery(sql string, traced bool) (*QueryResult, *Trace, err
 	if len(base) > 0 {
 		src.Base = query.NewRelationSource(base)
 	}
-	// Untraced executions share the peer's singleflight: identical
-	// concurrent leaf fetches collapse into one DHT lookup. Traced runs
-	// stay unshared so every span tree reflects its own query's work.
-	execSrc := query.Source(src)
-	if !traced {
-		execSrc = lp.coalesce.Bind(src)
-	}
 	var sp *Trace
-	if traced {
+	switch {
+	case traced:
 		sp = trace.New(fmt.Sprintf("query from %s", lp.Addr()))
+	case lp.flight.On():
+		sp = lp.flight.Start(fmt.Sprintf("query from %s", lp.Addr()))
+	}
+	// Only executions with no span share the peer's singleflight
+	// (identical concurrent leaf fetches collapse into one DHT lookup).
+	// Span-built runs — explicit traces and flight-recorded queries —
+	// stay unshared so every retained tree reflects its own query's
+	// work: the recorder trades the coalescer's dedup for attributable
+	// trees. Operators who want the dedup back run with -flight-off.
+	execSrc := query.Source(src)
+	if sp == nil {
+		execSrc = lp.coalesce.Bind(src)
 	}
 	res, err := query.ExecuteTraced(plan, lp.schema, execSrc, sp)
 	sp.End()
+	lp.flight.Finish(flight.KindQuery, sp, -1, err)
 	return res, sp, err
 }
 
@@ -695,12 +856,34 @@ func (lp *LivePeer) Close() {
 	if lp.wal != nil {
 		lp.wal.Close()
 	}
+	// The durable event sink unhooks before the log closes so a
+	// concurrent Emitf cannot race an append against the closed file.
+	if lp.eventsDetach != nil {
+		lp.eventsDetach()
+	}
+	if lp.events != nil {
+		lp.events.Close()
+	}
 }
 
 // Recovery reports what boot-time replay restored (zero value for
 // memory-only peers): the segment and WAL records applied, whether a
 // torn tail was truncated, and how long recovery took.
 func (lp *LivePeer) Recovery() wal.Recovery { return lp.recovery }
+
+// Flight returns the peer's flight recorder — nil (the disabled
+// recorder) when LiveConfig.FlightOff was set. peerd's /debug/slow and
+// /debug/flight and rangeql's \slow read retained entries through it.
+func (lp *LivePeer) Flight() *flight.Recorder { return lp.flight }
+
+// EventsDurable reports whether the peer's cluster event journal also
+// lands in a durable events.log (and any latched write error on it).
+func (lp *LivePeer) EventsDurable() (bool, error) {
+	if lp.events == nil {
+		return false, nil
+	}
+	return true, lp.events.Err()
+}
 
 // Durable reports the live WAL state, and whether durability is on.
 func (lp *LivePeer) Durable() (wal.Stats, bool) {

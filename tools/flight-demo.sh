@@ -1,0 +1,41 @@
+#!/bin/sh
+# Boots a 3-peer TCP ring — one peer with 30ms of injected RPC latency —
+# drives a mixed workload with NO tracing flags set, and dumps the flight
+# recorder's catches: the delayed peer's /debug/slow (its boot-time
+# partition publishes blew the 25ms threshold), the querying member's
+# \slow view, and the rangetop WORST column + events pane.
+set -e
+dir=$(mktemp -d)
+trap 'kill $p1 $p2 $p3 2>/dev/null; rm -rf "$dir"' EXIT INT TERM
+
+go build -o "$dir" ./cmd/peerd ./cmd/rangeql ./cmd/rangetop
+
+# A partition to publish: dump the generated Patient relation from a
+# throwaway simulated shell.
+printf '\\dump Patient %s/patient.csv\n\\q\n' "$dir" | "$dir/rangeql" -peers 4 >/dev/null
+
+"$dir/peerd" -listen 127.0.0.1:7201 -debug-addr 127.0.0.1:8201 -status 0 >"$dir/p1.log" 2>&1 &
+p1=$!
+sleep 1
+"$dir/peerd" -listen 127.0.0.1:7202 -join 127.0.0.1:7201 -debug-addr 127.0.0.1:8202 -status 0 >"$dir/p2.log" 2>&1 &
+p2=$!
+sleep 2
+# The induced slow path: every RPC this peer sends waits 30ms, so the
+# partition publishes it performs at boot cross the slow threshold and
+# land in its flight recorder — no tracing flag anywhere.
+"$dir/peerd" -listen 127.0.0.1:7203 -join 127.0.0.1:7201 -debug-addr 127.0.0.1:8203 -status 0 \
+	-fault-delay 30ms -publish "Patient=$dir/patient.csv:age:30-50" >"$dir/p3.log" 2>&1 &
+p3=$!
+sleep 4
+
+echo "== mixed workload through an ephemeral member, then its \\slow view =="
+printf 'SELECT name FROM Patient WHERE 30 <= age AND age <= 50\nSELECT name FROM Patient WHERE 55 <= age AND age <= 70\n\\slow\n\\q\n' \
+	| "$dir/rangeql" -connect 127.0.0.1:7201
+
+echo
+echo "== /debug/slow on the delayed peer: kept traces, no flag was set =="
+curl -sf http://127.0.0.1:8203/debug/slow || echo "(no slow queries kept on this peer)"
+
+echo
+echo "== rangetop: WORST column + events pane =="
+"$dir/rangetop" -peers 127.0.0.1:8201,127.0.0.1:8202,127.0.0.1:8203 -once

@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"p2prange/internal/chord"
+	"p2prange/internal/flight"
 	"p2prange/internal/minhash"
 	"p2prange/internal/peer"
 	"p2prange/internal/relation"
@@ -92,19 +93,109 @@ func TestStitchedTreeTransportEquivalence(t *testing.T) {
 	}
 
 	// The tree must carry serve spans attributed to peers other than the
-	// origin — the propagated fragments, not just local work.
+	// origin — the propagated fragments, not just local work. Coalesced
+	// lookups serve probes through the batch protocol, so the grafted
+	// spans read "serve FindBestBatch @addr".
 	remotes := map[string]bool{}
 	for _, line := range strings.Split(liveTree, "\n") {
-		i := strings.Index(line, "serve FindBest @")
+		i := strings.Index(line, "serve FindBestBatch @")
 		if i < 0 {
 			continue
 		}
-		addr := strings.TrimSpace(line[i+len("serve FindBest @"):])
+		addr := strings.TrimSpace(line[i+len("serve FindBestBatch @"):])
 		if addr != addrs[4] {
 			remotes[addr] = true
 		}
 	}
 	if len(remotes) == 0 {
 		t.Errorf("no remote serve spans in the stitched tree:\n%s", liveTree)
+	}
+}
+
+// TestFlightTailSamplingEquivalence pins the flight recorder's core
+// promise: a query retained by tail sampling renders the same stitched
+// tree the user would have gotten by asking for a trace up front. One
+// lookup runs over TCP with no tracing flag anywhere — only the
+// always-on recorder observes it — then the identical lookup runs under
+// explicit LookupTraced. The kept entry's tree and the explicit trace
+// must be byte-identical (timings excluded), and both must carry serve
+// spans grafted back from remote peers: tail sampling loses nothing
+// versus up-front tracing, because the two share one instrumented path.
+func TestFlightTailSamplingEquivalence(t *testing.T) {
+	peers := liveRing(t, 6)
+	// Pin every finger to its ideal entry so both lookups route through
+	// an identical, converged geometry.
+	for _, lp := range peers {
+		for k := uint(0); k < chord.M; k++ {
+			if err := lp.peer.Node().FixFinger(k); err != nil {
+				t.Fatalf("fix finger %d at %s: %v", k, lp.Ref(), err)
+			}
+		}
+	}
+
+	rg, _ := NewRange(30, 50)
+	part := PartitionInfo{Relation: "Patient", Attribute: "age", Range: rg, Holder: peers[2].Addr()}
+	if err := peers[2].Publish(part); err != nil {
+		t.Fatal(err)
+	}
+
+	origin := peers[4]
+	rec := origin.Flight()
+	if !rec.On() {
+		t.Fatal("flight recorder must be on with a default LiveConfig")
+	}
+
+	// The untraced run. cache=false on both lookups so neither mutates
+	// partition-cache state the other would then route around.
+	q, _ := NewRange(30, 49)
+	_, found, err := origin.LookupOnce("Patient", "age", q, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !found {
+		t.Fatal("untraced lookup found nothing")
+	}
+
+	wantRoot := fmt.Sprintf("lookup %s.%s %s from %s", "Patient", "age", q, origin.Addr())
+	var kept *flight.Entry
+	for _, e := range rec.Entries(flight.RingRecent) {
+		if e.Name == wantRoot {
+			kept = e
+		}
+	}
+	if kept == nil {
+		t.Fatalf("untraced lookup %q not in the flight recorder's recent ring", wantRoot)
+	}
+	keptTree := kept.Root.Tree(false)
+
+	// The same query under an explicit trace.
+	_, found, tr, err := origin.LookupTraced("Patient", "age", q, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !found {
+		t.Fatal("explicitly traced lookup found nothing")
+	}
+	explicitTree := tr.Tree(false)
+
+	if keptTree != explicitTree {
+		t.Errorf("tail-sampled tree differs from the explicit trace:\nflight recorder:\n%s\nexplicit -trace:\n%s", keptTree, explicitTree)
+	}
+
+	// The acceptance bar: with no flags set, the retained tree is the
+	// full stitched protocol run, remote serve fragments included — not
+	// just the local root.
+	remote := false
+	for _, line := range strings.Split(keptTree, "\n") {
+		i := strings.Index(line, "serve FindBestBatch @")
+		if i < 0 {
+			continue
+		}
+		if strings.TrimSpace(line[i+len("serve FindBestBatch @"):]) != origin.Addr() {
+			remote = true
+		}
+	}
+	if !remote {
+		t.Errorf("no remote serve spans in the tail-sampled tree:\n%s", keptTree)
 	}
 }

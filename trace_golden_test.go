@@ -37,41 +37,52 @@ func TestLookupTraceGolden(t *testing.T) {
 		t.Error("trace root has no duration")
 	}
 
+	// The tree shows the coalesced wire protocol: one routing child per
+	// probe, then one batch round trip per distinct owner carrying the
+	// grafted serve span and the per-probe outcomes. This is the same
+	// path untraced lookups take, so the flight recorder's always-sampled
+	// root changes no RPC count.
 	const want = `lookup Patient.age [30,50] from 10.0.0.0:4000
 ├─ sig: hits=0 extends=0 misses=1
 ├─ probe 1/5 id=cf7d4f9f
 │  ├─ shortcut: 0b3371f0@10.0.0.2:4000 via successor list
-│  ├─ owner: 0b3371f0@10.0.0.2:4000 hops=1
-│  ├─ serve FindBest @10.0.0.2:4000
-│  │  ├─ from: 10.0.0.0:4000
-│  │  └─ best: [30,50] score=1.000
-│  └─ match: [30,50] score=1.000
+│  └─ owner: 0b3371f0@10.0.0.2:4000 hops=1
 ├─ probe 2/5 id=69c1a38f
-│  ├─ owner: 7dceec98@10.0.0.0:4000 hops=0
-│  ├─ serve FindBest @10.0.0.0:4000
-│  │  ├─ from: 10.0.0.0:4000
-│  │  └─ best: [30,50] score=1.000
-│  └─ match: [30,50] score=1.000
+│  └─ owner: 7dceec98@10.0.0.0:4000 hops=0
 ├─ probe 3/5 id=86e9e0fd
 │  ├─ shortcut: 90d9e78d@10.0.0.3:4000 via successor list
-│  ├─ owner: 90d9e78d@10.0.0.3:4000 hops=1
-│  ├─ serve FindBest @10.0.0.3:4000
-│  │  ├─ from: 10.0.0.0:4000
-│  │  └─ best: [30,50] score=1.000
-│  └─ match: [30,50] score=1.000
+│  └─ owner: 90d9e78d@10.0.0.3:4000 hops=1
 ├─ probe 4/5 id=4cec38e0
 │  ├─ shortcut: 534daff3@10.0.0.4:4000 via successor list
-│  ├─ owner: 534daff3@10.0.0.4:4000 hops=1
-│  ├─ serve FindBest @10.0.0.4:4000
-│  │  ├─ from: 10.0.0.0:4000
-│  │  └─ best: [30,50] score=1.000
-│  └─ match: [30,50] score=1.000
+│  └─ owner: 534daff3@10.0.0.4:4000 hops=1
 ├─ probe 5/5 id=61cd1ab1
-│  ├─ owner: 7dceec98@10.0.0.0:4000 hops=0
-│  ├─ serve FindBest @10.0.0.0:4000
+│  └─ owner: 7dceec98@10.0.0.0:4000 hops=0
+├─ batch @10.0.0.2:4000: 1 probe(s)
+│  ├─ serve FindBestBatch @10.0.0.2:4000
 │  │  ├─ from: 10.0.0.0:4000
-│  │  └─ best: [30,50] score=1.000
-│  └─ match: [30,50] score=1.000
+│  │  ├─ batch: 1 probe(s)
+│  │  └─ best: id=cf7d4f9f [30,50] score=1.000
+│  └─ match: probe 1: [30,50] score=1.000
+├─ batch @10.0.0.0:4000: 2 probe(s)
+│  ├─ serve FindBestBatch @10.0.0.0:4000
+│  │  ├─ from: 10.0.0.0:4000
+│  │  ├─ batch: 2 probe(s)
+│  │  ├─ best: id=69c1a38f [30,50] score=1.000
+│  │  └─ best: id=61cd1ab1 [30,50] score=1.000
+│  ├─ match: probe 2: [30,50] score=1.000
+│  └─ match: probe 5: [30,50] score=1.000
+├─ batch @10.0.0.3:4000: 1 probe(s)
+│  ├─ serve FindBestBatch @10.0.0.3:4000
+│  │  ├─ from: 10.0.0.0:4000
+│  │  ├─ batch: 1 probe(s)
+│  │  └─ best: id=86e9e0fd [30,50] score=1.000
+│  └─ match: probe 3: [30,50] score=1.000
+├─ batch @10.0.0.4:4000: 1 probe(s)
+│  ├─ serve FindBestBatch @10.0.0.4:4000
+│  │  ├─ from: 10.0.0.0:4000
+│  │  ├─ batch: 1 probe(s)
+│  │  └─ best: id=4cec38e0 [30,50] score=1.000
+│  └─ match: probe 4: [30,50] score=1.000
 └─ store: skipped (exact match)
 `
 	if got := tr.Tree(false); got != want {
